@@ -1,0 +1,122 @@
+package lpmem
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchExperiment runs one registry experiment under testing.B. The first
+// iteration logs the regenerated table so `go test -bench -v` reproduces
+// the paper's numbers; every iteration measures the full pipeline
+// (workload execution, optimization, evaluation).
+func benchExperiment(b *testing.B, id string) {
+	exp, err := ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s — %s\npaper claim: %s\n%s\n%s",
+				exp.ID, exp.Title, exp.PaperClaim, res.Table.String(), res.Summary)
+		}
+	}
+}
+
+// BenchmarkE1AddressClustering regenerates DATE'03 1B.1's energy table.
+func BenchmarkE1AddressClustering(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2DataCompression regenerates DATE'03 1B.2's energy table.
+func BenchmarkE2DataCompression(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3IMemEncoding regenerates DATE'03 1B.3's transition table.
+func BenchmarkE3IMemEncoding(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4ReconfigSchedule regenerates DATE'03 1B.4's breakdown.
+func BenchmarkE4ReconfigSchedule(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5ShieldedBus regenerates DATE'03 6F.3's comparison.
+func BenchmarkE5ShieldedBus(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Chromatic regenerates DATE'03 8B.3's transition table.
+func BenchmarkE6Chromatic(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7WayDetermination regenerates DATE'03 10E.4's power table.
+func BenchmarkE7WayDetermination(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8LayerAssignment regenerates DATE'03 10F.1's energy table.
+func BenchmarkE8LayerAssignment(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9StackMemory regenerates DATE'03 10F.3's cache-energy table.
+func BenchmarkE9StackMemory(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10NoCMapping regenerates DATE'03 8B.2's mapping table.
+func BenchmarkE10NoCMapping(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11CtgDvs regenerates DATE'03 2B.2's DVS table.
+func BenchmarkE11CtgDvs(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12MRPFilter regenerates DATE'03 8B.4's adder-count table.
+func BenchmarkE12MRPFilter(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13DESMasking regenerates DATE'03 2B.1's masking comparison.
+func BenchmarkE13DESMasking(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14ClockTree regenerates DATE'03 1F.4's uncertainty table.
+func BenchmarkE14ClockTree(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15TimingBounds regenerates DATE'03 1F.3's bounds validation.
+func BenchmarkE15TimingBounds(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16BDDMinimization regenerates DATE'03 8D.2's effort table.
+func BenchmarkE16BDDMinimization(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17PipelinedCache regenerates DATE'03 8E.1's MOPS table.
+func BenchmarkE17PipelinedCache(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18TestCompression regenerates DATE'03 2C's compression tables.
+func BenchmarkE18TestCompression(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19CacheDesign regenerates DATE'03 8A.1's exploration table.
+func BenchmarkE19CacheDesign(b *testing.B) { benchExperiment(b, "E19") }
+
+// BenchmarkE20Checkpointing regenerates DATE'03 9E.3's fault-tolerance table.
+func BenchmarkE20Checkpointing(b *testing.B) { benchExperiment(b, "E20") }
+
+// TestAllExperimentsRun is the integration test: every experiment in the
+// registry must run to completion and produce a non-empty table and a
+// summary mentioning the paper.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavy; skipped in -short mode")
+	}
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Table == nil || len(res.Table.String()) == 0 {
+				t.Fatal("empty table")
+			}
+			if !strings.Contains(res.Summary, "paper") {
+				t.Errorf("summary should reference the paper claim: %q", res.Summary)
+			}
+			t.Logf("%s: %s", exp.ID, res.Summary)
+		})
+	}
+}
+
+// TestByIDErrors covers the registry lookup.
+func TestByIDErrors(t *testing.T) {
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if e, err := ByID("E7"); err != nil || e.ID != "E7" {
+		t.Fatalf("E7 lookup failed: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+// Command lpmem runs the reproduction experiments of the DATE'03 low-power
+// track and prints their tables, and provides workload tooling.
+//
+// Usage:
+//
+//	lpmem list               # list experiments
+//	lpmem run E1 [E7 ...]    # run selected experiments
+//	lpmem run all            # run everything
+//	lpmem kernels            # list workload kernels
+//	lpmem trace <kernel>     # run a kernel and dump its memory trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"lpmem"
+	"lpmem/internal/workloads"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range lpmem.Experiments() {
+			fmt.Printf("%-4s %-60s %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+			ids = nil
+			for _, e := range lpmem.Experiments() {
+				ids = append(ids, e.ID)
+			}
+		}
+		for _, id := range ids {
+			exp, err := lpmem.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
+			fmt.Printf("paper claim: %s\n\n", exp.PaperClaim)
+			res, err := exp.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", exp.ID, err)
+				os.Exit(1)
+			}
+			fmt.Print(res.Table.String())
+			fmt.Printf("\n>>> %s\n\n", res.Summary)
+		}
+	case "kernels":
+		for _, k := range workloads.All() {
+			inst := k.Build(1)
+			fmt.Printf("%-12s %3d instructions, %d data regions\n",
+				k.Name, inst.Prog.Len(), len(inst.Arrays))
+		}
+	case "trace":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "usage: lpmem trace <kernel> [seed]")
+			os.Exit(2)
+		}
+		seed := int64(1)
+		if len(args) >= 3 {
+			s, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", args[2], err)
+				os.Exit(2)
+			}
+			seed = s
+		}
+		k, err := workloads.ByName(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := workloads.Run(k.Build(seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Trace.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `lpmem — DATE'03 low-power track reproduction driver
+
+usage:
+  lpmem list             list experiments
+  lpmem run all          run every experiment
+  lpmem run E1 E7 ...    run selected experiments
+  lpmem kernels          list workload kernels
+  lpmem trace <kernel>   dump a kernel memory trace
+`)
+}

@@ -1,0 +1,61 @@
+// Busdesign: choose encodings for the buses of an SoC.
+//
+// Two decisions from the DATE'03 interconnect sessions: which code to put
+// on the external address bus (energy and signal integrity, 6F.3), and
+// whether chromatic encoding pays off on the DVI pixel link (8B.3).
+package main
+
+import (
+	"fmt"
+
+	"lpmem/internal/buscode"
+	"lpmem/internal/energy"
+)
+
+func main() {
+	// --- Address bus: mostly sequential line refills with rare jumps.
+	addrs := make([]uint32, 0, 30000)
+	addr := uint32(0x10_0000)
+	for i := 0; i < 30000; i++ {
+		if i%200 == 199 { // a jump every ~200 refills
+			addr = uint32(0x40_0000 + i*64)
+		} else {
+			addr += 32
+		}
+		addrs = append(addrs, addr)
+	}
+	bus := energy.DefaultBusModel()
+	fmt.Println("external address bus (32-bit, line refill stream):")
+	fmt.Printf("  %-10s %5s %12s %10s %10s %9s\n", "scheme", "lines", "transitions", "couplings", "energy", "overhead")
+	for _, enc := range []buscode.Encoder{
+		&buscode.Binary{},
+		&buscode.Gray{},
+		&buscode.T0{Stride: 32},
+		&buscode.BusInvert{},
+		&buscode.Shielded{Stride: 32},
+	} {
+		m := buscode.Measure(enc, addrs)
+		e := bus.TransitionEnergy(m.Transitions) +
+			energy.PJ(float64(bus.PerTransition)*bus.CouplingFactor*float64(m.Couplings))
+		fmt.Printf("  %-10s %5d %12d %10d %10.0f %8.2f%%\n",
+			enc.Name(), m.Lines, m.Transitions, m.Couplings, float64(e),
+			100*m.PerfOverhead(len(addrs)))
+	}
+
+	// --- DVI pixel link: natural image content.
+	fmt.Println("\nDVI pixel link (24-bit RGB):")
+	for _, img := range []struct {
+		name   string
+		pixels []buscode.RGB
+	}{
+		{"busy texture", buscode.SmoothRGB(1, 30000, 8, 6)},
+		{"natural photo", buscode.SmoothRGB(1, 30000, 2, 1)},
+		{"sky gradient", buscode.MidtoneRGB(1, 30000, 128, 0.7, 0.3)},
+	} {
+		raw := buscode.MeasurePixels(buscode.RawPixel{}, img.pixels)
+		chr := buscode.MeasurePixels(&buscode.Chromatic{}, img.pixels)
+		fmt.Printf("  %-14s raw %8d -> chromatic %8d transitions (%.1f%% saved, +3 lines)\n",
+			img.name, raw.Transitions, chr.Transitions,
+			100*(1-float64(chr.Transitions)/float64(raw.Transitions)))
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: run one embedded kernel on the µRISC core, profile its
+// memory accesses, and optimize the memory architecture with address
+// clustering + partitioning — the library's primary flow — in ~30 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lpmem/internal/core"
+	"lpmem/internal/workloads"
+)
+
+func main() {
+	// 1. Pick a workload and execute it (trace + golden-model check).
+	kernel, err := workloads.ByName("histogram")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := workloads.Run(kernel.Build(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %s: %d instructions, %d cycles, %d memory accesses\n",
+		kernel.Name, res.Retired, res.Cycles, res.Trace.Len())
+
+	// 2. Optimize the data-memory architecture.
+	report := core.Optimize(res.Trace, res.Cycles, core.DefaultOptions())
+
+	// 3. Read the results.
+	fmt.Printf("monolithic SRAM energy:     %10.0f\n", float64(report.MonolithicE))
+	fmt.Printf("optimal partitioning:       %10.0f\n", float64(report.PartitionedE))
+	fmt.Printf("clustering + partitioning:  %10.0f\n", float64(report.ClusteredE))
+	fmt.Printf("clustering saves %.1f%% vs partitioning alone, %.1f%% vs monolithic\n",
+		report.SavingVsPartitioned(), report.SavingVsMonolithic())
+	fmt.Printf("bank layout: %v\n", report.ClusteredPartition)
+}

@@ -1,0 +1,78 @@
+// Socmap: system-level energy co-design of a multimedia SoC.
+//
+// Two system-level passes from DATE'03: map the IP cores of a video/audio
+// application onto a 4x4 mesh NoC (8B.2), and voltage-schedule its control
+// software, modeled as a conditional task graph, onto the embedded CPUs
+// (2B.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lpmem/internal/ctg"
+	"lpmem/internal/noc"
+)
+
+func main() {
+	// --- NoC mapping.
+	mesh := noc.DefaultMesh()
+	graph := noc.MMSGraph()
+	adhoc := mesh.CommEnergy(graph, noc.RowMajor(graph.N))
+	res, err := noc.MapBnB(mesh, graph, 2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("NoC mapping of the multimedia core graph (4x4 mesh):")
+	fmt.Printf("  ad-hoc (row major): %12.0f\n", float64(adhoc))
+	fmt.Printf("  branch-and-bound:   %12.0f  (%.1f%% saved, %d nodes explored)\n",
+		float64(res.Energy), 100*(1-float64(res.Energy)/float64(adhoc)), res.Visited)
+	fmt.Println("  tile layout (ip@tile):")
+	for y := mesh.H - 1; y >= 0; y-- {
+		fmt.Print("   ")
+		for x := 0; x < mesh.W; x++ {
+			tile := y*mesh.W + x
+			ip := -1
+			for i, t := range res.Mapping {
+				if t == tile {
+					ip = i
+					break
+				}
+			}
+			fmt.Printf(" %3d", ip)
+		}
+		fmt.Println()
+	}
+
+	// --- CTG voltage scheduling of the control software.
+	g := ctg.CruiseController()
+	const procs = 2
+	rr := ctg.RoundRobin(len(g.Tasks), procs)
+	worst := 0.0
+	for _, sc := range g.Scenarios() {
+		if ms := g.Makespan(rr, procs, nil, sc); ms > worst {
+			worst = ms
+		}
+	}
+	g.Deadline = worst * 1.15
+
+	nominal := g.Energy(nil)
+	stretch, err := g.DVS(rr, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ga, err := ctg.MapGA(g, procs, ctg.DefaultGAConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nconditional-task-graph voltage scheduling (2 CPUs, 1.15x deadline):")
+	fmt.Printf("  nominal energy:      %8.1f\n", nominal)
+	fmt.Printf("  DVS on round robin:  %8.1f  (%.1f%% saved)\n",
+		g.Energy(stretch), 100*(1-g.Energy(stretch)/nominal))
+	fmt.Printf("  GA mapping + DVS:    %8.1f  (%.1f%% saved)\n",
+		ga.Energy, 100*(1-ga.Energy/nominal))
+	fmt.Println("  per-task stretch (GA mapping):")
+	for i, t := range g.Tasks {
+		fmt.Printf("   %-12s cpu%d  x%.2f\n", t.Name, ga.Mapping[i], ga.Stretch[i])
+	}
+}

@@ -1,0 +1,70 @@
+package lpmem
+
+import (
+	"fmt"
+
+	"lpmem/internal/bdd"
+	"lpmem/internal/stats"
+)
+
+// runE16 regenerates the exact-BDD-minimization comparison (8D.2): for a
+// set of order-sensitive benchmark functions, the optimal size, the
+// sifting-heuristic size, and the branch-and-bound effort with a single
+// lower bound versus the combined bounds.
+func runE16() (*Result, error) {
+	type fn struct {
+		name  string
+		build func() (*bdd.TruthTable, error)
+	}
+	var funcs []struct {
+		name string
+		tt   *bdd.TruthTable
+	}
+	for _, f := range []fn{
+		{"mux2", func() (*bdd.TruthTable, error) { return bdd.Multiplexer(2) }},
+		{"add4", func() (*bdd.TruthTable, error) { return bdd.AdderCarry(4) }},
+		{"hwb8", func() (*bdd.TruthTable, error) { return bdd.HiddenWeightedBit(8) }},
+		{"parity8", func() (*bdd.TruthTable, error) { return bdd.Parity(8) }},
+	} {
+		tt, err := f.build()
+		if err != nil {
+			return nil, err
+		}
+		funcs = append(funcs, struct {
+			name string
+			tt   *bdd.TruthTable
+		}{f.name, tt})
+	}
+
+	table := stats.NewTable("function", "identity", "sifted", "optimum", "expanded 1-bound", "expanded 3-bounds", "effort saved %")
+	var savings []float64
+	for _, f := range funcs {
+		ident, err := f.tt.SizeForOrder(bdd.IdentityOrder(f.tt.N))
+		if err != nil {
+			return nil, err
+		}
+		_, sifted, err := bdd.Sift(f.tt, bdd.IdentityOrder(f.tt.N))
+		if err != nil {
+			return nil, err
+		}
+		one, err := bdd.Minimize(f.tt, bdd.OneBound())
+		if err != nil {
+			return nil, err
+		}
+		all, err := bdd.Minimize(f.tt, bdd.AllBounds())
+		if err != nil {
+			return nil, err
+		}
+		if one.Size != all.Size {
+			return nil, fmt.Errorf("E16: bound sets disagree on %s", f.name)
+		}
+		s := stats.PercentSaving(float64(one.Expanded), float64(all.Expanded))
+		savings = append(savings, s)
+		table.AddRow(f.name, ident, sifted, all.Size, one.Expanded, all.Expanded, s)
+	}
+	return &Result{
+		Table: table,
+		Summary: fmt.Sprintf("combined lower bounds cut branch-and-bound expansions by %.0f%% on average without losing optimality (paper: avoids unnecessary computations)",
+			stats.Mean(savings)),
+	}, nil
+}

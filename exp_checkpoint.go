@@ -1,0 +1,66 @@
+package lpmem
+
+import (
+	"fmt"
+
+	"lpmem/internal/checkpoint"
+	"lpmem/internal/stats"
+)
+
+// runE20 regenerates the adaptive-checkpointing comparison (9E.3): across
+// actual-vs-nominal fault-rate mismatches, the probability of timely
+// completion for the fixed-interval baseline versus the adaptive policy,
+// and the energy effect of adding DVS on a slack-rich task.
+func runE20() (*Result, error) {
+	const runs = 6000
+	table := stats.NewTable("scenario", "policy", "completion", "energy", "ckpts")
+	var worstGap float64
+
+	// Completion under design-time fault-rate mis-estimation (tight
+	// task, actual rate fixed at 0.05): the fixed interval is derived
+	// from the nominal assumption; the adaptive policy recovers from the
+	// mis-estimate by tracking observed faults.
+	for _, mis := range []struct {
+		name    string
+		nominal float64
+	}{
+		{"tuned (nominal = actual)", 0.05},
+		{"faults underestimated 4x", 0.0125},
+		{"faults overestimated 4x", 0.2},
+	} {
+		tk := checkpoint.Task{Compute: 100, Deadline: 140, CheckpointCost: 0.8, FaultRate: 0.05}
+		tk.NominalRate = mis.nominal
+		fixed, err := checkpoint.Simulate(tk, checkpoint.FixedInterval, runs, 1)
+		if err != nil {
+			return nil, err
+		}
+		adaptive, err := checkpoint.Simulate(tk, checkpoint.Adaptive, runs, 1)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(mis.name, "fixed", fixed.CompletionProb, fixed.MeanEnergy, fixed.MeanCheckpoints)
+		table.AddRow(mis.name, "adaptive", adaptive.CompletionProb, adaptive.MeanEnergy, adaptive.MeanCheckpoints)
+		if gap := adaptive.CompletionProb - fixed.CompletionProb; gap > worstGap {
+			worstGap = gap
+		}
+	}
+
+	// Energy with DVS on a slack-rich task.
+	rich := checkpoint.Task{Compute: 100, Deadline: 190, CheckpointCost: 0.8, FaultRate: 0.05}
+	adaptive, err := checkpoint.Simulate(rich, checkpoint.Adaptive, runs, 2)
+	if err != nil {
+		return nil, err
+	}
+	dvs, err := checkpoint.Simulate(rich, checkpoint.AdaptiveDVS, runs, 2)
+	if err != nil {
+		return nil, err
+	}
+	table.AddRow("slack-rich (D=1.9C)", "adaptive", adaptive.CompletionProb, adaptive.MeanEnergy, adaptive.MeanCheckpoints)
+	table.AddRow("slack-rich (D=1.9C)", "adaptive+dvs", dvs.CompletionProb, dvs.MeanEnergy, dvs.MeanCheckpoints)
+	saving := stats.PercentSaving(adaptive.MeanEnergy, dvs.MeanEnergy)
+	return &Result{
+		Table: table,
+		Summary: fmt.Sprintf("adaptive checkpointing raises timely completion by up to %.1f pp under fault-rate mismatch; DVS cuts energy %.0f%% on the slack-rich task at equal completion (paper: higher completion likelihood and lower power)",
+			100*worstGap, saving),
+	}, nil
+}

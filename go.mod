@@ -1,0 +1,3 @@
+module lpmem
+
+go 1.22

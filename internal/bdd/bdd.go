@@ -1,0 +1,180 @@
+// Package bdd implements reduced ordered binary decision diagrams and
+// exact variable-order minimization with combined lower bounds,
+// reproducing DATE'03 8D.2 (Ebendt, Günther, Drechsler: "Combination of
+// Lower Bounds in Exact BDD Minimization").
+//
+// The size of a ROBDD depends on the variable order — from linear to
+// exponential for the same function — and finding the optimal order is
+// NP-complete. The classic exact algorithm (Friedman/Supowit) runs a
+// branch-and-bound over variable-order *prefixes*: the nodes in the top k
+// levels depend only on the *set* of the first k variables, not their
+// order, so the search space is the subset lattice. The paper's
+// contribution is pruning this search with a combination of lower bounds
+// instead of a single one; this package implements three and counts
+// expanded states with each configuration, reproducing the paper's
+// "avoided computations" result.
+//
+// Functions are represented by truth tables (up to 16 variables), and a
+// hash-consed node-based ROBDD can be built for any order to cross-check
+// the counting-based size computation.
+package bdd
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TruthTable is a boolean function of N variables as a packed bitset:
+// bit m holds f(m) where variable i corresponds to bit i of the input
+// index m.
+type TruthTable struct {
+	N    int
+	bits []uint64
+}
+
+// NewTruthTable allocates a constant-false function of n variables.
+func NewTruthTable(n int) (*TruthTable, error) {
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("bdd: variable count %d out of range (1..16)", n)
+	}
+	words := (1<<uint(n) + 63) / 64
+	return &TruthTable{N: n, bits: make([]uint64, words)}, nil
+}
+
+// Get returns f(m).
+func (t *TruthTable) Get(m int) bool { return t.bits[m/64]>>(uint(m)%64)&1 == 1 }
+
+// Set assigns f(m) = v.
+func (t *TruthTable) Set(m int, v bool) {
+	if v {
+		t.bits[m/64] |= 1 << (uint(m) % 64)
+	} else {
+		t.bits[m/64] &^= 1 << (uint(m) % 64)
+	}
+}
+
+// FromFunc builds a truth table by evaluating f on every minterm.
+func FromFunc(n int, f func(m int) bool) (*TruthTable, error) {
+	t, err := NewTruthTable(n)
+	if err != nil {
+		return nil, err
+	}
+	for m := 0; m < 1<<uint(n); m++ {
+		t.Set(m, f(m))
+	}
+	return t, nil
+}
+
+// subfunction extracts the cofactor of f where the variables in
+// `fixedMask` are fixed to the bits of `fixedVal`, flattened over the
+// remaining (free) variables in ascending variable order. The result is
+// returned as a canonical key (hex of the packed bits plus length).
+func (t *TruthTable) subfunction(fixedMask, fixedVal int) string {
+	freeVars := make([]int, 0, t.N)
+	for v := 0; v < t.N; v++ {
+		if fixedMask>>uint(v)&1 == 0 {
+			freeVars = append(freeVars, v)
+		}
+	}
+	n := len(freeVars)
+	words := (1<<uint(n) + 63) / 64
+	out := make([]uint64, words)
+	for m := 0; m < 1<<uint(n); m++ {
+		full := fixedVal
+		for i, v := range freeVars {
+			if m>>uint(i)&1 == 1 {
+				full |= 1 << uint(v)
+			}
+		}
+		if t.Get(full) {
+			out[m/64] |= 1 << (uint(m) % 64)
+		}
+	}
+	return keyOf(out, n)
+}
+
+func keyOf(words []uint64, n int) string {
+	b := make([]byte, 0, len(words)*8+1)
+	b = append(b, byte(n))
+	for _, w := range words {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(w>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// dependsOn reports whether the cofactor class keyed by fixing fixedMask
+// to fixedVal essentially depends on variable v (v must be free).
+func (t *TruthTable) dependsOn(fixedMask, fixedVal, v int) bool {
+	k0 := t.subfunction(fixedMask|1<<uint(v), fixedVal)
+	k1 := t.subfunction(fixedMask|1<<uint(v), fixedVal|1<<uint(v))
+	return k0 != k1
+}
+
+// LevelNodes returns the number of BDD nodes labeled with variable v when
+// the set `above` (bitmask) of variables occupies the levels above v:
+// the count of distinct cofactors w.r.t. `above` that essentially depend
+// on v. This is the Friedman-Supowit characterization — it depends only
+// on the set, not on the order within it.
+func (t *TruthTable) LevelNodes(above int, v int) int {
+	if above>>uint(v)&1 == 1 {
+		panic("bdd: v must not be in the set above it")
+	}
+	seen := make(map[string]bool)
+	count := 0
+	// Enumerate assignments to `above`.
+	vars := make([]int, 0, t.N)
+	for i := 0; i < t.N; i++ {
+		if above>>uint(i)&1 == 1 {
+			vars = append(vars, i)
+		}
+	}
+	for a := 0; a < 1<<uint(len(vars)); a++ {
+		val := 0
+		for i, vv := range vars {
+			if a>>uint(i)&1 == 1 {
+				val |= 1 << uint(vv)
+			}
+		}
+		k := t.subfunction(above, val)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if t.dependsOn(above, val, v) {
+			count++
+		}
+	}
+	return count
+}
+
+// SizeForOrder returns the ROBDD node count (internal nodes, excluding
+// terminals) for the given variable order (order[0] is the top level).
+func (t *TruthTable) SizeForOrder(order []int) (int, error) {
+	if len(order) != t.N {
+		return 0, fmt.Errorf("bdd: order has %d variables, want %d", len(order), t.N)
+	}
+	seen := 0
+	total := 0
+	for _, v := range order {
+		if v < 0 || v >= t.N || seen>>uint(v)&1 == 1 {
+			return 0, fmt.Errorf("bdd: order is not a permutation")
+		}
+		total += t.LevelNodes(seen, v)
+		seen |= 1 << uint(v)
+	}
+	return total, nil
+}
+
+// IdentityOrder returns 0..n-1.
+func IdentityOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// popcount16 counts set bits of a small mask.
+func popcount16(m int) int { return bits.OnesCount32(uint32(m)) }

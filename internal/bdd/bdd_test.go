@@ -1,0 +1,186 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTruthTableBasics(t *testing.T) {
+	tt, err := NewTruthTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.Set(5, true)
+	if !tt.Get(5) || tt.Get(4) {
+		t.Fatal("set/get broken")
+	}
+	tt.Set(5, false)
+	if tt.Get(5) {
+		t.Fatal("clear broken")
+	}
+	if _, err := NewTruthTable(0); err == nil {
+		t.Fatal("0 variables must error")
+	}
+	if _, err := NewTruthTable(17); err == nil {
+		t.Fatal("17 variables must error")
+	}
+}
+
+// TestParityLinearAnyOrder: parity has exactly n internal nodes under
+// every order.
+func TestParityLinearAnyOrder(t *testing.T) {
+	tt, err := Parity(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		order := r.Perm(5)
+		size, err := tt.SizeForOrder(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Parity BDD: 2 nodes per level except 1 at top and bottom:
+		// 2n-1 internal nodes.
+		if size != 2*5-1 {
+			t.Fatalf("parity size = %d under %v, want 9", size, order)
+		}
+	}
+}
+
+// TestMultiplexerOrderSensitivity: selects-on-top is linear, data-first
+// blows up.
+func TestMultiplexerOrderSensitivity(t *testing.T) {
+	tt, err := Multiplexer(2) // 2 selects + 4 data = 6 vars
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []int{0, 1, 2, 3, 4, 5} // selects first
+	bad := []int{2, 3, 4, 5, 0, 1}  // data first
+	gs, err := tt.SizeForOrder(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := tt.SizeForOrder(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mux: selects-first=%d data-first=%d", gs, bs)
+	if gs >= bs {
+		t.Fatalf("selects-first (%d) should beat data-first (%d)", gs, bs)
+	}
+}
+
+func TestSizeForOrderRejectsBadOrders(t *testing.T) {
+	tt, _ := Parity(3)
+	if _, err := tt.SizeForOrder([]int{0, 1}); err == nil {
+		t.Fatal("short order must error")
+	}
+	if _, err := tt.SizeForOrder([]int{0, 0, 1}); err == nil {
+		t.Fatal("non-permutation must error")
+	}
+}
+
+// TestMinimizeFindsMuxOptimum: exact minimization must recover the
+// selects-on-top family optimum.
+func TestMinimizeFindsMuxOptimum(t *testing.T) {
+	tt, err := Multiplexer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(tt, AllBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tt.SizeForOrder([]int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size > want {
+		t.Fatalf("minimize size = %d, optimum is at most %d", res.Size, want)
+	}
+	// The returned order must reproduce the claimed size.
+	check, err := tt.SizeForOrder(res.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check != res.Size {
+		t.Fatalf("returned order gives %d, result claims %d", check, res.Size)
+	}
+}
+
+// TestBoundsAgreeOnOptimum: one-bound and all-bounds searches must find
+// the same minimal size, with all-bounds expanding no more states.
+func TestBoundsAgreeOnOptimum(t *testing.T) {
+	funcs := map[string]*TruthTable{}
+	if tt, err := Multiplexer(2); err == nil {
+		funcs["mux2"] = tt
+	}
+	if tt, err := HiddenWeightedBit(7); err == nil {
+		funcs["hwb7"] = tt
+	}
+	if tt, err := AdderCarry(4); err == nil {
+		funcs["add4"] = tt
+	}
+	for name, tt := range funcs {
+		one, err := Minimize(tt, OneBound())
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := Minimize(tt, AllBounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: optimum=%d expanded one=%d all=%d", name, all.Size, one.Expanded, all.Expanded)
+		if one.Size != all.Size {
+			t.Errorf("%s: bound sets disagree on optimum: %d vs %d", name, one.Size, all.Size)
+		}
+		if all.Expanded > one.Expanded {
+			t.Errorf("%s: combined bounds expanded MORE states (%d > %d)", name, all.Expanded, one.Expanded)
+		}
+	}
+}
+
+// TestSiftImprovesOrNeverWorsens on a bad initial order.
+func TestSiftImprovesOrNeverWorsens(t *testing.T) {
+	tt, err := Multiplexer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []int{2, 3, 4, 5, 0, 1}
+	before, err := tt.SizeForOrder(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, after, err := Sift(tt, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Fatalf("sifting worsened the order: %d > %d", after, before)
+	}
+	if got, _ := tt.SizeForOrder(order); got != after {
+		t.Fatalf("sift returned inconsistent size %d vs %d", after, got)
+	}
+	t.Logf("sift: %d -> %d", before, after)
+}
+
+// TestMinimizeNeverAboveSift: the exact optimum is a floor for the
+// heuristic.
+func TestMinimizeNeverAboveSift(t *testing.T) {
+	tt, err := AdderCarry(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sifted, err := Sift(tt, IdentityOrder(tt.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Minimize(tt, AllBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Size > sifted {
+		t.Fatalf("exact %d above sifted %d", exact.Size, sifted)
+	}
+}

@@ -1,0 +1,51 @@
+package bdd
+
+import "math/bits"
+
+// Benchmark functions with strongly order-dependent BDD sizes, used by
+// the E16 experiment and tests.
+
+// Multiplexer returns the 2^k-input multiplexer with k select inputs:
+// variables 0..k-1 are selects, k..k+2^k-1 are data. Its BDD is linear
+// when selects are on top and exponential when data variables come first.
+func Multiplexer(k int) (*TruthTable, error) {
+	n := k + 1<<uint(k)
+	return FromFunc(n, func(m int) bool {
+		sel := m & (1<<uint(k) - 1)
+		return m>>uint(k+sel)&1 == 1
+	})
+}
+
+// HiddenWeightedBit returns HWB(x) = x_w where w = weight(x) (0 if w==0),
+// a classic function with no small-BDD order.
+func HiddenWeightedBit(n int) (*TruthTable, error) {
+	return FromFunc(n, func(m int) bool {
+		w := bits.OnesCount32(uint32(m))
+		if w == 0 {
+			return false
+		}
+		return m>>uint(w-1)&1 == 1
+	})
+}
+
+// AdderCarry returns the carry-out of an a+b ripple adder where variables
+// alternate a0,b0,a1,b1,... (an interleaving-sensitive function).
+func AdderCarry(bitsN int) (*TruthTable, error) {
+	return FromFunc(2*bitsN, func(m int) bool {
+		carry := 0
+		for i := 0; i < bitsN; i++ {
+			a := m >> uint(2*i) & 1
+			b := m >> uint(2*i+1) & 1
+			carry = (a & b) | (a & carry) | (b & carry)
+		}
+		return carry == 1
+	})
+}
+
+// Parity returns x0 xor ... xor xn-1 (order-insensitive: every order has
+// the same linear BDD, a useful control case).
+func Parity(n int) (*TruthTable, error) {
+	return FromFunc(n, func(m int) bool {
+		return bits.OnesCount32(uint32(m))%2 == 1
+	})
+}

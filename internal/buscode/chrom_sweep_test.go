@@ -1,0 +1,28 @@
+package buscode
+
+import "testing"
+
+// TestChromaticSweep characterises chromatic-encoding savings across image
+// smoothness, reproducing the "up to 75%" envelope of the abstract on
+// mid-tone content.
+func TestChromaticSweep(t *testing.T) {
+	measure := func(pixels []RGB) float64 {
+		raw := MeasurePixels(RawPixel{}, pixels)
+		chr := MeasurePixels(&Chromatic{}, pixels)
+		return 100 * float64(raw.Transitions-chr.Transitions) / float64(raw.Transitions)
+	}
+	for _, p := range []struct{ sigma, chroma float64 }{
+		{8, 6}, {3, 2}, {1.5, 0.8}, {0.8, 0.4},
+	} {
+		pixels := SmoothRGB(7, 20000, p.sigma, p.chroma)
+		t.Logf("smooth sigma=%.1f chroma=%.2f saving=%.1f%%", p.sigma, p.chroma, measure(pixels))
+	}
+	for _, lvl := range []float64{128, 64, 192} {
+		pixels := MidtoneRGB(7, 20000, lvl, 0.8, 0.3)
+		saving := measure(pixels)
+		t.Logf("midtone level=%.0f saving=%.1f%%", lvl, saving)
+		if lvl == 128 && saving < 55 {
+			t.Errorf("mid-tone saving = %.1f%%, want >= 55%%", saving)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package buscode
+
+import "math/rand"
+
+// SmoothRGB generates n pixels of a synthetic natural-image scanline: the
+// R channel performs a Gaussian random walk (tonal locality) and G and B
+// track R with small Gaussian offsets (inter-channel correlation). sigma
+// controls horizontal smoothness; chroma controls how tightly G and B
+// follow R. This is the statistical structure the chromatic-encoding
+// abstract itself assumes of DVI traffic.
+func SmoothRGB(seed int64, n int, sigma, chroma float64) []RGB {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RGB, n)
+	clamp := func(v float64) uint8 {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v)
+	}
+	r := 128.0
+	for i := range out {
+		r += rng.NormFloat64() * sigma
+		if r < 0 {
+			r = 0
+		}
+		if r > 255 {
+			r = 255
+		}
+		out[i] = RGB{
+			R: clamp(r),
+			G: clamp(r + rng.NormFloat64()*chroma),
+			B: clamp(r + rng.NormFloat64()*chroma),
+		}
+	}
+	return out
+}
+
+// MidtoneRGB generates a mean-reverting scanline hovering around a
+// mid-tone level (sky gradients, studio backgrounds). Mid-tone content is
+// the pathological case for plain binary transmission: every crossing of
+// the 127/128 boundary toggles all eight lines of a channel, while a
+// value-locality code toggles one. level is the tone the walk reverts to.
+func MidtoneRGB(seed int64, n int, level, sigma, chroma float64) []RGB {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RGB, n)
+	clamp := func(v float64) uint8 {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v)
+	}
+	r := level
+	for i := range out {
+		r += rng.NormFloat64()*sigma + 0.1*(level-r)
+		out[i] = RGB{
+			R: clamp(r),
+			G: clamp(r + rng.NormFloat64()*chroma),
+			B: clamp(r + rng.NormFloat64()*chroma),
+		}
+	}
+	return out
+}
+
+// MeasurePixels drives a pixel stream through a pixel-capable encoder.
+func MeasurePixels(enc Encoder, pixels []RGB) Measurement {
+	words := make([]uint32, len(pixels))
+	for i, px := range pixels {
+		words[i] = PixelWord(px)
+	}
+	return Measure(enc, words)
+}

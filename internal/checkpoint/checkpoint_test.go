@@ -1,0 +1,112 @@
+package checkpoint
+
+import "testing"
+
+func task() Task {
+	return Task{Compute: 100, Deadline: 140, CheckpointCost: 0.8, FaultRate: 0.05}
+}
+
+func TestSimulateRejectsBadTasks(t *testing.T) {
+	bad := []Task{
+		{Compute: 0, Deadline: 10, CheckpointCost: 1, FaultRate: 0.1},
+		{Compute: 10, Deadline: 5, CheckpointCost: 1, FaultRate: 0.1},
+		{Compute: 10, Deadline: 20, CheckpointCost: 0, FaultRate: 0.1},
+		{Compute: 10, Deadline: 20, CheckpointCost: 1, FaultRate: 0},
+	}
+	for _, tk := range bad {
+		if _, err := Simulate(tk, Adaptive, 10, 1); err == nil {
+			t.Errorf("task %+v should be rejected", tk)
+		}
+	}
+}
+
+// TestAdaptiveBeatsFixedOnCompletion reproduces the first headline: when
+// the actual fault environment differs from the design-time assumption,
+// the adaptive policy (which tracks observed faults) completes by the
+// deadline more often than the mis-tuned fixed interval.
+func TestAdaptiveBeatsFixedOnCompletion(t *testing.T) {
+	tk := task()
+	tk.NominalRate = tk.FaultRate / 4 // designer underestimated faults 4x
+	fixed, err := Simulate(tk, FixedInterval, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Simulate(tk, Adaptive, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("completion (4x nominal faults): fixed=%.3f adaptive=%.3f",
+		fixed.CompletionProb, adaptive.CompletionProb)
+	if adaptive.CompletionProb <= fixed.CompletionProb {
+		t.Errorf("adaptive (%.3f) should beat the mis-tuned fixed policy (%.3f)",
+			adaptive.CompletionProb, fixed.CompletionProb)
+	}
+}
+
+// TestAdaptiveMatchesFixedWhenTuned: when the nominal rate is correct, the
+// adaptive policy must not be materially worse than the optimal fixed one.
+func TestAdaptiveMatchesFixedWhenTuned(t *testing.T) {
+	tk := task()
+	fixed, err := Simulate(tk, FixedInterval, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Simulate(tk, Adaptive, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("completion (tuned): fixed=%.3f adaptive=%.3f", fixed.CompletionProb, adaptive.CompletionProb)
+	if adaptive.CompletionProb < fixed.CompletionProb-0.05 {
+		t.Errorf("adaptive (%.3f) should stay within 5pp of the tuned fixed policy (%.3f)",
+			adaptive.CompletionProb, fixed.CompletionProb)
+	}
+}
+
+// TestDVSSavesEnergyWithoutKillingCompletion reproduces the second
+// headline: adding DVS cuts energy while completion stays close.
+func TestDVSSavesEnergyWithoutKillingCompletion(t *testing.T) {
+	tk := task()
+	adaptive, err := Simulate(tk, Adaptive, 4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvs, err := Simulate(tk, AdaptiveDVS, 4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("energy: adaptive=%.1f dvs=%.1f (completion %.3f vs %.3f)",
+		adaptive.MeanEnergy, dvs.MeanEnergy, adaptive.CompletionProb, dvs.CompletionProb)
+	if dvs.MeanEnergy >= adaptive.MeanEnergy {
+		t.Errorf("DVS saved no energy: %.1f >= %.1f", dvs.MeanEnergy, adaptive.MeanEnergy)
+	}
+	if dvs.CompletionProb < adaptive.CompletionProb-0.05 {
+		t.Errorf("DVS hurt completion too much: %.3f vs %.3f",
+			dvs.CompletionProb, adaptive.CompletionProb)
+	}
+}
+
+// TestHigherFaultRateLowersCompletion: basic model sanity.
+func TestHigherFaultRateLowersCompletion(t *testing.T) {
+	tk := task()
+	low, err := Simulate(tk, Adaptive, 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.FaultRate = 0.2
+	high, err := Simulate(tk, Adaptive, 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.CompletionProb >= low.CompletionProb {
+		t.Errorf("more faults should lower completion: %.3f >= %.3f",
+			high.CompletionProb, low.CompletionProb)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, _ := Simulate(task(), AdaptiveDVS, 500, 7)
+	b, _ := Simulate(task(), AdaptiveDVS, 500, 7)
+	if a != b {
+		t.Fatal("simulation not deterministic")
+	}
+}

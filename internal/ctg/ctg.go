@@ -1,0 +1,341 @@
+// Package ctg implements scheduling, dynamic voltage scaling (DVS) and
+// genetic-algorithm mapping for conditional task graphs, reproducing
+// DATE'03 2B.2 (Wu, Al-Hashimi, Eles: "Scheduling and Mapping of
+// Conditional Task Graphs for the Synthesis of Low Power Embedded
+// Systems").
+//
+// A conditional task graph (CTG) extends a task DAG with condition
+// variables: a task guarded by a condition only executes in the runs where
+// the condition holds, so different runs ("scenarios") execute different
+// subgraphs. The available slack under a deadline therefore differs per
+// scenario; the DVS pass must pick voltage (stretch) factors that meet the
+// deadline in the *worst* scenario while harvesting the slack that exists
+// in all of them. Combining the DVS pass with a genetic algorithm over the
+// task-to-processor mapping finds mappings whose schedules expose more
+// exploitable slack, which is where the paper's larger savings come from.
+//
+// Energy model: lowering the supply voltage stretches a task by a factor
+// s >= 1 and scales its energy by 1/s² (E ∝ V², V ∝ f). A task's nominal
+// energy is Power × WCET.
+package ctg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoCond marks an unconditional task.
+const NoCond = -1
+
+// Guard gates a task on one condition variable's outcome.
+type Guard struct {
+	// Var is the condition-variable index, or NoCond.
+	Var int
+	// Val is the outcome under which the task executes.
+	Val bool
+}
+
+// Task is one node of the CTG.
+type Task struct {
+	Name string
+	// WCET is the worst-case execution time at nominal voltage.
+	WCET float64
+	// Power is the nominal power draw while executing.
+	Power float64
+	// Guard gates execution.
+	Guard Guard
+}
+
+// Graph is a conditional task graph.
+type Graph struct {
+	Tasks []Task
+	// Deps[i] lists the predecessors of task i.
+	Deps [][]int
+	// CondProb[v] is the probability that condition v is true.
+	CondProb []float64
+	// Deadline is the hard completion bound for every scenario.
+	Deadline float64
+}
+
+// Validate checks structural sanity (indices, probabilities, acyclicity).
+func (g *Graph) Validate() error {
+	if len(g.Deps) != len(g.Tasks) {
+		return fmt.Errorf("ctg: deps size %d != tasks %d", len(g.Deps), len(g.Tasks))
+	}
+	for i, deps := range g.Deps {
+		for _, d := range deps {
+			if d < 0 || d >= len(g.Tasks) {
+				return fmt.Errorf("ctg: task %d has bad dep %d", i, d)
+			}
+		}
+	}
+	for i, t := range g.Tasks {
+		if t.WCET <= 0 || t.Power <= 0 {
+			return fmt.Errorf("ctg: task %d needs positive WCET and Power", i)
+		}
+		if t.Guard.Var != NoCond && (t.Guard.Var < 0 || t.Guard.Var >= len(g.CondProb)) {
+			return fmt.Errorf("ctg: task %d guard on unknown condition %d", i, t.Guard.Var)
+		}
+	}
+	for _, p := range g.CondProb {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("ctg: condition probability %f out of range", p)
+		}
+	}
+	if _, err := g.topo(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topo returns a topological order or an error on cycles.
+func (g *Graph) topo() ([]int, error) {
+	n := len(g.Tasks)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for i, deps := range g.Deps {
+		for _, d := range deps {
+			indeg[i]++
+			succ[d] = append(succ[d], i)
+		}
+	}
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		// Smallest index first for determinism.
+		sort.Ints(queue)
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("ctg: graph has a cycle")
+	}
+	return order, nil
+}
+
+// Scenario is one assignment of condition outcomes.
+type Scenario struct {
+	Outcomes []bool
+	Prob     float64
+}
+
+// Scenarios enumerates all condition combinations with probabilities.
+func (g *Graph) Scenarios() []Scenario {
+	n := len(g.CondProb)
+	out := make([]Scenario, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		s := Scenario{Outcomes: make([]bool, n), Prob: 1}
+		for v := 0; v < n; v++ {
+			if mask>>v&1 == 1 {
+				s.Outcomes[v] = true
+				s.Prob *= g.CondProb[v]
+			} else {
+				s.Prob *= 1 - g.CondProb[v]
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Active reports whether task i executes in the scenario.
+func (g *Graph) Active(i int, sc Scenario) bool {
+	gd := g.Tasks[i].Guard
+	return gd.Var == NoCond || sc.Outcomes[gd.Var] == gd.Val
+}
+
+// Makespan list-schedules the active tasks of a scenario onto processors
+// (mapping[i] = processor) with the given per-task stretch factors, and
+// returns the completion time. Priorities are longest-path lengths at
+// nominal WCET; the policy is deterministic.
+func (g *Graph) Makespan(mapping []int, procs int, stretch []float64, sc Scenario) float64 {
+	n := len(g.Tasks)
+	order, _ := g.topo()
+	// Longest path to exit (priority).
+	prio := make([]float64, n)
+	succ := make([][]int, n)
+	for i, deps := range g.Deps {
+		for _, d := range deps {
+			succ[d] = append(succ[d], i)
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := order[k]
+		prio[v] = g.Tasks[v].WCET
+		for _, s := range succ[v] {
+			if prio[s]+g.Tasks[v].WCET > prio[v] {
+				prio[v] = prio[s] + g.Tasks[v].WCET
+			}
+		}
+	}
+	// Ready-list scheduling.
+	done := make([]bool, n)
+	finish := make([]float64, n)
+	procFree := make([]float64, procs)
+	remaining := 0
+	active := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if g.Active(i, sc) {
+			active[i] = true
+			remaining++
+		} else {
+			done[i] = true
+		}
+	}
+	for remaining > 0 {
+		// Pick the ready active task with the highest priority.
+		best := -1
+		for i := 0; i < n; i++ {
+			if done[i] || !active[i] {
+				continue
+			}
+			ready := true
+			for _, d := range g.Deps[i] {
+				if active[d] && !done[d] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if best < 0 || prio[i] > prio[best] || (prio[i] == prio[best] && i < best) {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Only possible with a cycle, excluded by Validate.
+			return 1e18
+		}
+		start := procFree[mapping[best]]
+		for _, d := range g.Deps[best] {
+			if active[d] && finish[d] > start {
+				start = finish[d]
+			}
+		}
+		s := 1.0
+		if stretch != nil {
+			s = stretch[best]
+		}
+		finish[best] = start + g.Tasks[best].WCET*s
+		procFree[mapping[best]] = finish[best]
+		done[best] = true
+		remaining--
+	}
+	max := 0.0
+	for i := 0; i < n; i++ {
+		if active[i] && finish[i] > max {
+			max = finish[i]
+		}
+	}
+	return max
+}
+
+// Feasible reports whether all scenarios meet the deadline.
+func (g *Graph) Feasible(mapping []int, procs int, stretch []float64) bool {
+	for _, sc := range g.Scenarios() {
+		if g.Makespan(mapping, procs, stretch, sc) > g.Deadline+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Energy returns the expected energy over scenarios under the stretches:
+// a task running at stretch s consumes Power*WCET/s².
+func (g *Graph) Energy(stretch []float64) float64 {
+	total := 0.0
+	for _, sc := range g.Scenarios() {
+		e := 0.0
+		for i, t := range g.Tasks {
+			if !g.Active(i, sc) {
+				continue
+			}
+			s := 1.0
+			if stretch != nil {
+				s = stretch[i]
+			}
+			e += t.Power * t.WCET / (s * s)
+		}
+		total += sc.Prob * e
+	}
+	return total
+}
+
+// DVS computes per-task stretch factors that keep every scenario within
+// the deadline: first a global stretch equal to the minimum scenario
+// slack, then greedy per-task refinement that keeps stretching the task
+// with the highest remaining energy while feasibility holds.
+func (g *Graph) DVS(mapping []int, procs int) ([]float64, error) {
+	return g.dvsBounded(mapping, procs, 64)
+}
+
+// dvsBounded is DVS with a cap on refinement rounds; the GA uses a small
+// cap as a fast fitness proxy.
+func (g *Graph) dvsBounded(mapping []int, procs int, maxRounds int) ([]float64, error) {
+	n := len(g.Tasks)
+	stretch := make([]float64, n)
+	for i := range stretch {
+		stretch[i] = 1
+	}
+	if !g.Feasible(mapping, procs, stretch) {
+		return nil, fmt.Errorf("ctg: mapping misses the deadline even at nominal voltage")
+	}
+	// Global stretch: binary search the largest uniform factor.
+	lo, hi := 1.0, 16.0
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		for i := range stretch {
+			stretch[i] = mid
+		}
+		if g.Feasible(mapping, procs, stretch) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	for i := range stretch {
+		stretch[i] = lo
+	}
+	// Greedy per-task refinement.
+	const step = 1.05
+	improved := true
+	for rounds := 0; improved && rounds < maxRounds; rounds++ {
+		improved = false
+		// Order tasks by current energy contribution, descending.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ea := g.Tasks[idx[a]].Power * g.Tasks[idx[a]].WCET / (stretch[idx[a]] * stretch[idx[a]])
+			eb := g.Tasks[idx[b]].Power * g.Tasks[idx[b]].WCET / (stretch[idx[b]] * stretch[idx[b]])
+			if ea != eb {
+				return ea > eb
+			}
+			return idx[a] < idx[b]
+		})
+		for _, i := range idx {
+			old := stretch[i]
+			stretch[i] = old * step
+			if g.Feasible(mapping, procs, stretch) {
+				improved = true
+			} else {
+				stretch[i] = old
+			}
+		}
+	}
+	return stretch, nil
+}

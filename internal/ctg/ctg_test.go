@@ -1,0 +1,162 @@
+package ctg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateCatchesErrors(t *testing.T) {
+	g := CruiseController()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("cruise controller should validate: %v", err)
+	}
+	bad := &Graph{
+		Tasks: []Task{{WCET: 1, Power: 1, Guard: Guard{Var: 3}}},
+		Deps:  [][]int{{}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("guard on unknown condition must be rejected")
+	}
+	cyc := &Graph{
+		Tasks: []Task{{WCET: 1, Power: 1, Guard: Guard{Var: NoCond}}, {WCET: 1, Power: 1, Guard: Guard{Var: NoCond}}},
+		Deps:  [][]int{{1}, {0}},
+	}
+	if err := cyc.Validate(); err == nil {
+		t.Error("cycle must be rejected")
+	}
+}
+
+func TestScenariosSumToOne(t *testing.T) {
+	g := CruiseController()
+	sum := 0.0
+	for _, sc := range g.Scenarios() {
+		sum += sc.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("scenario probabilities sum to %f", sum)
+	}
+	if len(g.Scenarios()) != 4 {
+		t.Fatalf("want 4 scenarios for 2 conditions, got %d", len(g.Scenarios()))
+	}
+}
+
+// TestConditionalExclusion: in a no-obstacle scenario the brake tasks are
+// inactive and the speed tasks active, and vice versa.
+func TestConditionalExclusion(t *testing.T) {
+	g := CruiseController()
+	scObstacle := Scenario{Outcomes: []bool{true, false}, Prob: 1}
+	scClear := Scenario{Outcomes: []bool{false, false}, Prob: 1}
+	if !g.Active(4, scObstacle) || g.Active(4, scClear) {
+		t.Error("brake-plan activity wrong")
+	}
+	if g.Active(6, scObstacle) || !g.Active(6, scClear) {
+		t.Error("speed-plan activity wrong")
+	}
+	if !g.Active(0, scObstacle) || !g.Active(0, scClear) {
+		t.Error("unconditional task must always be active")
+	}
+}
+
+// TestMakespanRespectsDependencies: a two-task chain on one processor
+// takes the sum of WCETs.
+func TestMakespanChain(t *testing.T) {
+	g := &Graph{
+		Tasks: []Task{
+			{WCET: 5, Power: 1, Guard: Guard{Var: NoCond}},
+			{WCET: 7, Power: 1, Guard: Guard{Var: NoCond}},
+		},
+		Deps:     [][]int{{}, {0}},
+		Deadline: 100,
+	}
+	ms := g.Makespan([]int{0, 0}, 1, nil, Scenario{})
+	if ms != 12 {
+		t.Fatalf("chain makespan = %f, want 12", ms)
+	}
+	// On two processors the chain is still serial.
+	ms2 := g.Makespan([]int{0, 1}, 2, nil, Scenario{})
+	if ms2 != 12 {
+		t.Fatalf("chain on 2 procs = %f, want 12", ms2)
+	}
+}
+
+// TestDVSSavesEnergy is the E11 core claim: DVS on the CTG must cut
+// expected energy meaningfully with every scenario still meeting the
+// deadline.
+func TestDVSSavesEnergy(t *testing.T) {
+	g := CruiseController()
+	const procs = 2
+	mapping := RoundRobin(len(g.Tasks), procs)
+	nominal := g.Energy(nil)
+	stretch, err := g.DVS(mapping, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Feasible(mapping, procs, stretch) {
+		t.Fatal("DVS result must be feasible in all scenarios")
+	}
+	dvsE := g.Energy(stretch)
+	saving := 100 * (nominal - dvsE) / nominal
+	t.Logf("nominal=%.1f dvs=%.1f saving=%.1f%%", nominal, dvsE, saving)
+	if saving < 15 {
+		t.Errorf("DVS saving = %.1f%%, want >= 15%%", saving)
+	}
+	for i, s := range stretch {
+		if s < 1 {
+			t.Errorf("task %d stretch %f < 1", i, s)
+		}
+	}
+}
+
+// TestGAMappingBeatsDVSAlone: GA mapping + DVS must beat round-robin +
+// DVS, reproducing the paper's second claim.
+func TestGAMappingBeatsDVSAlone(t *testing.T) {
+	g := CruiseController()
+	const procs = 2
+	rr := RoundRobin(len(g.Tasks), procs)
+	stretch, err := g.DVS(rr, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvsOnly := g.Energy(stretch)
+	res, err := MapGA(g, procs, DefaultGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("nominal=%.1f dvs-only=%.1f ga+dvs=%.1f", g.Energy(nil), dvsOnly, res.Energy)
+	if res.Energy > dvsOnly+1e-9 {
+		t.Errorf("GA mapping (%.1f) must not be worse than round-robin (%.1f)", res.Energy, dvsOnly)
+	}
+	if !g.Feasible(res.Mapping, procs, res.Stretch) {
+		t.Error("GA result must be feasible")
+	}
+}
+
+// TestInfeasibleDeadline: a deadline below the critical path must be
+// rejected by DVS.
+func TestInfeasibleDeadline(t *testing.T) {
+	g := CruiseController()
+	g.Deadline = 10
+	if _, err := g.DVS(RoundRobin(len(g.Tasks), 2), 2); err == nil {
+		t.Fatal("impossible deadline must fail")
+	}
+}
+
+// TestRandomCTGs: DVS is feasible and saves energy across random graphs.
+func TestRandomCTGs(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := RandomCTG(seed, 4, 4, 2, 2.0)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		const procs = 3
+		mapping := RoundRobin(len(g.Tasks), procs)
+		stretch, err := g.DVS(mapping, procs)
+		if err != nil {
+			// Random instance may be infeasible at this deadline; skip.
+			continue
+		}
+		if got, want := g.Energy(stretch), g.Energy(nil); got >= want {
+			t.Errorf("seed %d: DVS did not reduce energy (%.1f >= %.1f)", seed, got, want)
+		}
+	}
+}

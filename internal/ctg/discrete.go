@@ -1,0 +1,89 @@
+package ctg
+
+import "fmt"
+
+// Discrete-voltage DVS. Real embedded processors of the paper's era
+// offered a handful of voltage/frequency operating points rather than a
+// continuum; a task's stretch factor must then be chosen from a fixed
+// menu. Discretization loses part of the continuous savings — quantifying
+// that loss is the ablation the E11 benchmark runs.
+
+// DefaultLevels returns a typical 4-point operating menu as stretch
+// factors (1.0 = nominal voltage/frequency).
+func DefaultLevels() []float64 {
+	return []float64{1.0, 1.33, 1.66, 2.0}
+}
+
+// QuantizeDown snaps each stretch factor to the largest menu level that
+// does not exceed it. Since makespan is monotone in every stretch,
+// rounding *down* keeps any feasible continuous solution feasible.
+func QuantizeDown(stretch []float64, levels []float64) ([]float64, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("ctg: empty level menu")
+	}
+	for _, l := range levels {
+		if l < 1 {
+			return nil, fmt.Errorf("ctg: level %f below nominal", l)
+		}
+	}
+	out := make([]float64, len(stretch))
+	for i, s := range stretch {
+		best := 1.0
+		for _, l := range levels {
+			if l <= s && l > best {
+				best = l
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// DVSDiscrete runs the continuous DVS pass and then snaps the result to
+// the level menu, followed by a greedy repair pass that tries to bump
+// individual tasks to the next higher level while all scenarios stay
+// within the deadline.
+func (g *Graph) DVSDiscrete(mapping []int, procs int, levels []float64) ([]float64, error) {
+	cont, err := g.DVS(mapping, procs)
+	if err != nil {
+		return nil, err
+	}
+	stretch, err := QuantizeDown(cont, levels)
+	if err != nil {
+		return nil, err
+	}
+	if !g.Feasible(mapping, procs, stretch) {
+		// Cannot happen: rounding down only shrinks execution times.
+		return nil, fmt.Errorf("ctg: internal error: quantized solution infeasible")
+	}
+	// Greedy bump: try raising each task to its next menu level.
+	improved := true
+	for rounds := 0; improved && rounds < 16; rounds++ {
+		improved = false
+		for i := range stretch {
+			next := nextLevel(stretch[i], levels)
+			if next <= stretch[i] {
+				continue
+			}
+			old := stretch[i]
+			stretch[i] = next
+			if g.Feasible(mapping, procs, stretch) {
+				improved = true
+			} else {
+				stretch[i] = old
+			}
+		}
+	}
+	return stretch, nil
+}
+
+// nextLevel returns the smallest menu level strictly above s (or s).
+func nextLevel(s float64, levels []float64) float64 {
+	best := s
+	for _, l := range levels {
+		if l > s && (best == s || l < best) {
+			best = l
+		}
+	}
+	return best
+}

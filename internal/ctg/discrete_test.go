@@ -1,0 +1,62 @@
+package ctg
+
+import "testing"
+
+func TestQuantizeDown(t *testing.T) {
+	levels := DefaultLevels()
+	got, err := QuantizeDown([]float64{1.0, 1.5, 1.7, 3.0}, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.0, 1.33, 1.66, 2.0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("quantize[%d] = %f, want %f", i, got[i], want[i])
+		}
+	}
+	if _, err := QuantizeDown(nil, nil); err == nil {
+		t.Fatal("empty menu must error")
+	}
+	if _, err := QuantizeDown(nil, []float64{0.5}); err == nil {
+		t.Fatal("sub-nominal level must error")
+	}
+}
+
+// TestDiscreteFeasibleAndBetween: discrete DVS must stay feasible and its
+// energy must land between nominal and continuous DVS.
+func TestDiscreteFeasibleAndBetween(t *testing.T) {
+	g := CruiseController()
+	const procs = 2
+	mapping := RoundRobin(len(g.Tasks), procs)
+	cont, err := g.DVS(mapping, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := g.DVSDiscrete(mapping, procs, DefaultLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Feasible(mapping, procs, disc) {
+		t.Fatal("discrete solution infeasible")
+	}
+	nominal := g.Energy(nil)
+	contE := g.Energy(cont)
+	discE := g.Energy(disc)
+	t.Logf("nominal=%.1f continuous=%.1f discrete=%.1f", nominal, contE, discE)
+	if discE >= nominal {
+		t.Errorf("discrete DVS saved nothing: %.1f >= %.1f", discE, nominal)
+	}
+	if discE < contE-1e-9 {
+		t.Errorf("discrete cannot beat continuous: %.1f < %.1f", discE, contE)
+	}
+	// Every stretch must be on the menu.
+	menu := map[float64]bool{}
+	for _, l := range DefaultLevels() {
+		menu[l] = true
+	}
+	for i, s := range disc {
+		if !menu[s] {
+			t.Errorf("task %d stretch %f not on the menu", i, s)
+		}
+	}
+}

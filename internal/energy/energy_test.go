@@ -1,0 +1,138 @@
+package energy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadEnergyMonotone: bigger SRAMs must cost more per access, for any
+// reasonable model.
+func TestReadEnergyMonotone(t *testing.T) {
+	m := DefaultMemoryModel()
+	prev := PJ(0)
+	for _, size := range []uint32{256, 1024, 4096, 16384, 65536, 1 << 20} {
+		e := m.ReadEnergy(size)
+		if e <= prev {
+			t.Fatalf("read energy not monotone at %d: %v <= %v", size, e, prev)
+		}
+		w := m.WriteEnergy(size)
+		if w <= e {
+			t.Errorf("write should cost more than read at %d: %v <= %v", size, w, e)
+		}
+		prev = e
+	}
+}
+
+func TestLeakageScales(t *testing.T) {
+	m := DefaultMemoryModel()
+	if m.Leakage(1024, 1000) >= m.Leakage(2048, 1000) {
+		t.Error("leakage must grow with size")
+	}
+	if m.Leakage(1024, 1000) >= m.Leakage(1024, 2000) {
+		t.Error("leakage must grow with time")
+	}
+	if m.Leakage(0, 1000) != 0 {
+		t.Error("zero size leaks nothing")
+	}
+}
+
+func TestSelectEnergy(t *testing.T) {
+	m := DefaultMemoryModel()
+	if m.SelectEnergy(1) != 0 {
+		t.Error("monolithic memory has no select overhead")
+	}
+	if m.SelectEnergy(2) <= 0 {
+		t.Error("2 banks need select energy")
+	}
+	if m.SelectEnergy(16) <= m.SelectEnergy(2) {
+		t.Error("select energy must grow with bank count")
+	}
+}
+
+func TestWordTransitions(t *testing.T) {
+	if got := WordTransitions(0, 0xF); got != 4 {
+		t.Fatalf("transitions = %d, want 4", got)
+	}
+	if got := WordTransitions(0xFFFFFFFF, 0xFFFFFFFF); got != 0 {
+		t.Fatalf("transitions = %d, want 0", got)
+	}
+}
+
+// TestCouplingCountsOppositeTogglesOnly: coupling requires adjacent lines
+// moving in opposite directions.
+func TestCouplingCountsOppositeTogglesOnly(t *testing.T) {
+	// Lines 0 rises, line 1 falls: one coupling event.
+	if got := CouplingTransitions(0b10, 0b01, 8); got != 1 {
+		t.Fatalf("opposite toggle coupling = %d, want 1", got)
+	}
+	// Both rise: no coupling.
+	if got := CouplingTransitions(0b00, 0b11, 8); got != 0 {
+		t.Fatalf("same-direction coupling = %d, want 0", got)
+	}
+	// Far-apart toggles: no coupling.
+	if got := CouplingTransitions(0b1, 0b10000000, 8); got != 0 {
+		t.Fatalf("distant toggle coupling = %d, want 0", got)
+	}
+}
+
+// TestSequenceEnergyAdditive: energy of a concatenated sequence equals the
+// sum over its windows (with shared boundary words).
+func TestSequenceEnergyAdditive(t *testing.T) {
+	b := DefaultBusModel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		words := make([]uint32, 20)
+		for i := range words {
+			words[i] = r.Uint32()
+		}
+		whole := b.SequenceEnergy(words, 32)
+		parts := b.SequenceEnergy(words[:10], 32) + b.SequenceEnergy(words[9:], 32)
+		return abs(float64(whole-parts)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestSequenceEnergyEmpty(t *testing.T) {
+	b := DefaultBusModel()
+	if b.SequenceEnergy(nil, 32) != 0 {
+		t.Fatal("empty sequence has zero energy")
+	}
+	if b.SequenceEnergy([]uint32{5}, 32) != 0 {
+		t.Fatal("single word has zero transitions")
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	c := DefaultCacheModel()
+	if c.ConventionalAccess(8) != 8*(c.TagE+c.DataE) {
+		t.Fatal("conventional access energy wrong")
+	}
+	if c.DirectedAccess() >= c.ConventionalAccess(2) {
+		t.Error("directed access should beat even a 2-way probe")
+	}
+}
+
+func TestPJString(t *testing.T) {
+	if got := PJ(1.5).String(); got != "1.500 pJ" {
+		t.Fatalf("PJ string = %q", got)
+	}
+}
+
+// TestZeroSizeExpDefaults: a MemoryModel built without SizeExp must not
+// degenerate to a flat model.
+func TestZeroSizeExpDefaults(t *testing.T) {
+	m := MemoryModel{ReadE0: 1, KSize: 0.02}
+	if m.ReadEnergy(1<<20) <= m.ReadEnergy(1<<10) {
+		t.Fatal("zero SizeExp must fall back to a growing exponent")
+	}
+}

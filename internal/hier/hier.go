@@ -1,0 +1,236 @@
+// Package hier implements energy-driven layer assignment for multi-layer
+// memory hierarchies (DATE'03 10F.1, Brockmeyer/Miranda/Catthoor/
+// Corporaal: "Layer Assignment Techniques for Low Energy in Multi-Layered
+// Memory Organisations").
+//
+// A platform offers a small scratchpad layer, a larger on-chip layer and
+// big off-chip memory. Assigning an array to a small layer makes each of
+// its accesses cheap, but capacity is scarce. The key insight of the paper
+// is that arrays have *limited lifetimes*: an input buffer consumed in an
+// early phase and an output buffer produced in a late phase never live at
+// the same time and can share the same scratchpad bytes. Exploiting
+// lifetime (plus access-density ordering) roughly halves hierarchy energy
+// versus assignment that reserves capacity for every array over the whole
+// run.
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"lpmem/internal/energy"
+	"lpmem/internal/trace"
+)
+
+// Layer is one level of the hierarchy.
+type Layer struct {
+	// Name identifies the layer in reports.
+	Name string
+	// Capacity is the usable size in bytes (0 = unbounded, for the
+	// backing off-chip layer).
+	Capacity uint32
+	// ReadE / WriteE are per-access energies.
+	ReadE, WriteE energy.PJ
+}
+
+// DefaultLayers builds a 3-level platform from the SRAM model: a 2 KiB
+// scratchpad, a 16 KiB on-chip SRAM, and off-chip DRAM whose per-access
+// energy is an order of magnitude above on-chip.
+func DefaultLayers(m energy.MemoryModel) []Layer {
+	return []Layer{
+		{Name: "L1-scratch", Capacity: 2048, ReadE: m.ReadEnergy(2048), WriteE: m.WriteEnergy(2048)},
+		{Name: "L2-sram", Capacity: 16384, ReadE: m.ReadEnergy(16384), WriteE: m.WriteEnergy(16384)},
+		{Name: "offchip", Capacity: 0, ReadE: 60, WriteE: 66},
+	}
+}
+
+// ArrayInfo is the profile of one array: footprint, traffic and lifetime.
+type ArrayInfo struct {
+	Name   string
+	Base   uint32
+	Size   uint32
+	Reads  uint64
+	Writes uint64
+	// First and Last are the indices (in data-access order) of the
+	// array's first and last access: its lifetime interval.
+	First, Last int
+}
+
+// Accesses returns total traffic.
+func (a ArrayInfo) Accesses() uint64 { return a.Reads + a.Writes }
+
+// Region ties an address range to an array name, as declared by the
+// workloads.
+type Region struct {
+	Name string
+	Base uint32
+	Size uint32
+}
+
+// Profile scans the data accesses of tr and produces per-array profiles
+// for the declared regions. Accesses outside every region are ignored.
+func Profile(tr *trace.Trace, regions []Region) []ArrayInfo {
+	infos := make([]ArrayInfo, len(regions))
+	for i, r := range regions {
+		infos[i] = ArrayInfo{Name: r.Name, Base: r.Base, Size: r.Size, First: -1}
+	}
+	t := 0
+	for _, a := range tr.Accesses {
+		if a.Kind == trace.Fetch {
+			continue
+		}
+		for i := range infos {
+			if a.Addr >= infos[i].Base && a.Addr < infos[i].Base+infos[i].Size {
+				if a.Kind == trace.Write {
+					infos[i].Writes++
+				} else {
+					infos[i].Reads++
+				}
+				if infos[i].First < 0 {
+					infos[i].First = t
+				}
+				infos[i].Last = t
+				break
+			}
+		}
+		t++
+	}
+	// Drop arrays that were never touched.
+	out := infos[:0]
+	for _, in := range infos {
+		if in.First >= 0 {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Assignment maps array names to layer indices.
+type Assignment struct {
+	Layer map[string]int
+}
+
+// Energy returns the total hierarchy energy of serving the profiled
+// traffic under the assignment.
+func Energy(infos []ArrayInfo, layers []Layer, asg Assignment) energy.PJ {
+	var e energy.PJ
+	for _, in := range infos {
+		l := layers[asg.Layer[in.Name]]
+		e += l.ReadE*energy.PJ(in.Reads) + l.WriteE*energy.PJ(in.Writes)
+	}
+	return e
+}
+
+// fitsWithLifetime reports whether adding cand to the arrays already
+// placed in a layer keeps the *peak concurrent* footprint within capacity.
+// Lifetimes are the [First,Last] intervals; the peak is found by an event
+// sweep.
+func fitsWithLifetime(placed []ArrayInfo, cand ArrayInfo, capacity uint32) bool {
+	if capacity == 0 {
+		return true
+	}
+	if cand.Size > capacity {
+		return false
+	}
+	type event struct {
+		t     int
+		delta int64
+	}
+	var events []event
+	add := func(a ArrayInfo) {
+		events = append(events, event{a.First, int64(a.Size)})
+		events = append(events, event{a.Last + 1, -int64(a.Size)})
+	}
+	for _, p := range placed {
+		add(p)
+	}
+	add(cand)
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta
+	})
+	var cur int64
+	for _, ev := range events {
+		cur += ev.delta
+		if cur > int64(capacity) {
+			return false
+		}
+	}
+	return true
+}
+
+// fitsStatic reports whether the candidate fits assuming every placed
+// array occupies its bytes for the whole run (the no-lifetime baseline).
+func fitsStatic(placed []ArrayInfo, cand ArrayInfo, capacity uint32) bool {
+	if capacity == 0 {
+		return true
+	}
+	var sum int64
+	for _, p := range placed {
+		sum += int64(p.Size)
+	}
+	return sum+int64(cand.Size) <= int64(capacity)
+}
+
+// Assign places arrays into layers greedily by access density
+// (accesses per byte, the energy leverage of promoting the array), trying
+// cheap layers first. useLifetime selects lifetime-aware capacity checks;
+// with it off the function is the paper's baseline assigner.
+func Assign(infos []ArrayInfo, layers []Layer, useLifetime bool) (Assignment, error) {
+	if len(layers) == 0 {
+		return Assignment{}, fmt.Errorf("hier: no layers")
+	}
+	if layers[len(layers)-1].Capacity != 0 {
+		return Assignment{}, fmt.Errorf("hier: last layer must be unbounded (capacity 0)")
+	}
+	order := append([]ArrayInfo(nil), infos...)
+	sort.Slice(order, func(i, j int) bool {
+		di := float64(order[i].Accesses()) / float64(order[i].Size)
+		dj := float64(order[j].Accesses()) / float64(order[j].Size)
+		if di != dj {
+			return di > dj
+		}
+		return order[i].Name < order[j].Name
+	})
+	placed := make([][]ArrayInfo, len(layers))
+	asg := Assignment{Layer: make(map[string]int, len(infos))}
+	for _, a := range order {
+		for li := range layers {
+			var ok bool
+			if useLifetime {
+				ok = fitsWithLifetime(placed[li], a, layers[li].Capacity)
+			} else {
+				ok = fitsStatic(placed[li], a, layers[li].Capacity)
+			}
+			if ok {
+				placed[li] = append(placed[li], a)
+				asg.Layer[a.Name] = li
+				break
+			}
+		}
+	}
+	return asg, nil
+}
+
+// Evaluate runs the full comparison on one profiled workload: everything
+// off-chip, static greedy assignment, and lifetime-aware assignment.
+func Evaluate(infos []ArrayInfo, layers []Layer) (offchip, static, lifetime energy.PJ, err error) {
+	all := Assignment{Layer: make(map[string]int, len(infos))}
+	for _, in := range infos {
+		all.Layer[in.Name] = len(layers) - 1
+	}
+	offchip = Energy(infos, layers, all)
+	s, err := Assign(infos, layers, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	static = Energy(infos, layers, s)
+	l, err := Assign(infos, layers, true)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	lifetime = Energy(infos, layers, l)
+	return offchip, static, lifetime, nil
+}

@@ -1,0 +1,109 @@
+package mrpf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCSDRoundTrip: the CSD form reconstructs the value exactly.
+func TestCSDRoundTrip(t *testing.T) {
+	f := func(c int32) bool { return CSDValue(CSD(c)) == c }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSDNoAdjacentNonZeros: the canonical property.
+func TestCSDNoAdjacentNonZeros(t *testing.T) {
+	f := func(c int32) bool {
+		d := CSD(c)
+		for i := 0; i+1 < len(d); i++ {
+			if d[i] != 0 && d[i+1] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSDWeightMinimal: CSD weight is never above binary weight + 1, and
+// is strictly lower for runs of ones.
+func TestCSDWeightMinimal(t *testing.T) {
+	f := func(c int32) bool { return popcountValidate(c) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if NonZero(CSD(255)) != 2 { // 255 = 256 - 1
+		t.Fatalf("CSD(255) weight = %d, want 2", NonZero(CSD(255)))
+	}
+	if NonZero(CSD(0)) != 0 {
+		t.Fatal("CSD(0) must be empty")
+	}
+}
+
+func TestDirectCost(t *testing.T) {
+	// y = 1*x: zero adders. y = 255*x: one adder. Two taps: +1 summation.
+	if got := DirectCost([]int32{1}); got != 0 {
+		t.Fatalf("cost([1]) = %d", got)
+	}
+	if got := DirectCost([]int32{255}); got != 1 {
+		t.Fatalf("cost([255]) = %d", got)
+	}
+	if got := DirectCost([]int32{1, 1}); got != 1 {
+		t.Fatalf("cost([1,1]) = %d", got)
+	}
+	if got := DirectCost([]int32{0, 0}); got != 0 {
+		t.Fatalf("cost of zero filter = %d", got)
+	}
+}
+
+// TestOrderingOnLowpass reproduces the abstract's comparison shape on its
+// own filter class: MRP <= CSE <= direct, with substantial MRP gains.
+func TestOrderingOnLowpass(t *testing.T) {
+	for _, taps := range []int{16, 24, 32} {
+		coeffs, err := LowpassCoeffs(taps, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Compare(coeffs)
+		t.Logf("%2d taps: direct=%d cse=%d mrp=%d (vs direct %.1f%%, vs cse %.1f%%)",
+			taps, c.Direct, c.CSE, c.MRP, c.SavingVsDirect(), c.SavingVsCSE())
+		if c.CSE > c.Direct {
+			t.Errorf("%d taps: CSE worse than direct", taps)
+		}
+		if c.MRP > c.CSE {
+			t.Errorf("%d taps: MRP worse than CSE", taps)
+		}
+		if c.SavingVsDirect() < 30 {
+			t.Errorf("%d taps: MRP saving vs direct = %.1f%%, want >= 30%%", taps, c.SavingVsDirect())
+		}
+	}
+}
+
+// TestRandomCoeffsNeverNegativeCost: costs stay sane on arbitrary sets.
+func TestRandomCoeffsNeverNegativeCost(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		coeffs := make([]int32, 4+r.Intn(20))
+		for i := range coeffs {
+			coeffs[i] = int32(r.Intn(1<<16) - 1<<15)
+		}
+		c := Compare(coeffs)
+		if c.Direct < 0 || c.CSE < 0 || c.MRP < 0 {
+			t.Fatalf("negative cost: %+v", c)
+		}
+		if c.CSE > c.Direct {
+			t.Fatalf("CSE exceeded direct: %+v", c)
+		}
+	}
+}
+
+func TestLowpassErrors(t *testing.T) {
+	if _, err := LowpassCoeffs(2, 10); err == nil {
+		t.Fatal("too few taps must error")
+	}
+}

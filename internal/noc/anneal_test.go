@@ -1,0 +1,75 @@
+package noc
+
+import "testing"
+
+// TestAnnealBeatsAdhocOnMMS: annealing must also clearly beat the ad-hoc
+// mapping on the multimedia graph.
+func TestAnnealBeatsAdhocOnMMS(t *testing.T) {
+	m := DefaultMesh()
+	g := MMSGraph()
+	adhoc := m.CommEnergy(g, RowMajor(g.N))
+	res, err := MapAnneal(m, g, 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := 100 * float64(adhoc-res.Energy) / float64(adhoc)
+	t.Logf("anneal saving = %.1f%%", saving)
+	if saving < 20 {
+		t.Errorf("annealing saving = %.1f%%, want >= 20%%", saving)
+	}
+	seen := map[int]bool{}
+	for _, tile := range res.Mapping {
+		if tile < 0 || tile >= m.Tiles() || seen[tile] {
+			t.Fatalf("invalid mapping %v", res.Mapping)
+		}
+		seen[tile] = true
+	}
+}
+
+// TestAnnealVsBnB: on the MMS instance the exact mapper must be at least
+// as good as annealing.
+func TestAnnealVsBnB(t *testing.T) {
+	m := DefaultMesh()
+	g := MMSGraph()
+	bnb, err := MapBnB(m, g, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := MapAnneal(m, g, 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bnb.Energy > sa.Energy+1e-6 {
+		t.Errorf("BnB (%v) worse than annealing (%v)", bnb.Energy, sa.Energy)
+	}
+}
+
+// TestAnnealErrors: oversized graphs and hopeless bandwidth fail cleanly.
+func TestAnnealErrors(t *testing.T) {
+	m := Mesh{W: 2, H: 2, LinkBW: 1, ERbit: 0.3, ELbit: 0.45}
+	if _, err := MapAnneal(m, PipelineGraph(5, 10), 1, 1000); err == nil {
+		t.Fatal("5 cores on 4 tiles must fail")
+	}
+	if _, err := MapAnneal(m, PipelineGraph(4, 10), 1, 1000); err == nil {
+		t.Fatal("infeasible bandwidth must fail")
+	}
+}
+
+// TestAnnealDeterministicPerSeed.
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	m := DefaultMesh()
+	g := MMSGraph()
+	a, err := MapAnneal(m, g, 9, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MapAnneal(m, g, 9, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Mapping {
+		if a.Mapping[i] != b.Mapping[i] {
+			t.Fatal("annealing not deterministic for fixed seed")
+		}
+	}
+}

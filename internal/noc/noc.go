@@ -1,0 +1,377 @@
+// Package noc models a regular 2D-mesh network-on-chip and implements the
+// energy- and performance-aware IP mapping of DATE'03 8B.2 (Hu &
+// Marculescu: "Exploiting the Routing Flexibility for Energy/Performance
+// Aware Mapping of Regular NoC Architectures").
+//
+// The communication energy of sending one bit over h hops is
+//
+//	e_bit(h) = (h+1)·E_Rbit + h·E_Lbit
+//
+// (one router per hop plus the source router, one link per hop), so total
+// communication energy is Σ_flows volume · e_bit(dist(map(src), map(dst))).
+// The mapper is a branch-and-bound over tile assignments: IPs are placed
+// in decreasing order of communication demand, partial costs are bounded
+// from below, and a mapping is only accepted if the link bandwidth
+// constraints can be satisfied by per-flow selection of XY or YX
+// deterministic routing (the "routing flexibility" of the title — it both
+// enlarges the feasible space and is deadlock-free for any mix, as XY and
+// YX flows use disjoint turn sets per virtual channel).
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"lpmem/internal/energy"
+)
+
+// Mesh is the target architecture.
+type Mesh struct {
+	// W and H are the mesh dimensions; W*H tiles.
+	W, H int
+	// LinkBW is the capacity of each directed link, in MB/s.
+	LinkBW float64
+	// ERbit and ELbit are per-bit router and link energies.
+	ERbit, ELbit energy.PJ
+}
+
+// DefaultMesh returns the 4x4 mesh used by the E10 experiment.
+func DefaultMesh() Mesh {
+	return Mesh{W: 4, H: 4, LinkBW: 1000, ERbit: 0.284, ELbit: 0.449}
+}
+
+// Tiles returns the tile count.
+func (m Mesh) Tiles() int { return m.W * m.H }
+
+// coord returns the (x,y) of a tile index.
+func (m Mesh) coord(t int) (int, int) { return t % m.W, t / m.W }
+
+// dist is the Manhattan distance between two tiles.
+func (m Mesh) dist(a, b int) int {
+	ax, ay := m.coord(a)
+	bx, by := m.coord(b)
+	dx := ax - bx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := ay - by
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// BitEnergy returns e_bit for a path of h hops.
+func (m Mesh) BitEnergy(h int) energy.PJ {
+	return energy.PJ(h+1)*m.ERbit + energy.PJ(h)*m.ELbit
+}
+
+// Flow is one communication edge of the application core graph.
+type Flow struct {
+	// Src and Dst are IP indices.
+	Src, Dst int
+	// Volume is the total traffic in bits (drives energy).
+	Volume float64
+	// BW is the sustained bandwidth requirement in MB/s (drives link
+	// capacity constraints).
+	BW float64
+}
+
+// Graph is the application: N IP cores and their flows.
+type Graph struct {
+	N     int
+	Flows []Flow
+}
+
+// Validate checks indices.
+func (g *Graph) Validate() error {
+	for _, f := range g.Flows {
+		if f.Src < 0 || f.Src >= g.N || f.Dst < 0 || f.Dst >= g.N || f.Src == f.Dst {
+			return fmt.Errorf("noc: bad flow %+v for %d cores", f, g.N)
+		}
+	}
+	return nil
+}
+
+// CommEnergy returns the total communication energy of a mapping
+// (mapping[ip] = tile).
+func (m Mesh) CommEnergy(g *Graph, mapping []int) energy.PJ {
+	var e energy.PJ
+	for _, f := range g.Flows {
+		h := m.dist(mapping[f.Src], mapping[f.Dst])
+		e += energy.PJ(f.Volume) * m.BitEnergy(h)
+	}
+	return e
+}
+
+// RowMajor returns the ad-hoc baseline mapping: IP i on tile i.
+func RowMajor(n int) []int {
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = i
+	}
+	return mapping
+}
+
+// Routing is the per-flow choice of deterministic route.
+type Routing int
+
+// Route kinds.
+const (
+	XY Routing = iota
+	YX
+)
+
+// linkID identifies a directed mesh link by its endpoints.
+type linkID struct{ from, to int }
+
+// walk appends the links of a route to fn.
+func (m Mesh) walk(src, dst int, r Routing, fn func(linkID)) {
+	x, y := m.coord(src)
+	dx, dy := m.coord(dst)
+	cur := src
+	stepX := func() {
+		nx := x + sign(dx-x)
+		next := y*m.W + nx
+		fn(linkID{cur, next})
+		x, cur = nx, next
+	}
+	stepY := func() {
+		ny := y + sign(dy-y)
+		next := ny*m.W + x
+		fn(linkID{cur, next})
+		y, cur = ny, next
+	}
+	if r == XY {
+		for x != dx {
+			stepX()
+		}
+		for y != dy {
+			stepY()
+		}
+	} else {
+		for y != dy {
+			stepY()
+		}
+		for x != dx {
+			stepX()
+		}
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// CheckBandwidth reports whether the flows of g under the mapping can be
+// routed within link capacities using per-flow XY/YX selection. It returns
+// the chosen routing per flow when feasible. The selection is greedy:
+// flows in decreasing bandwidth order take XY if it fits, else YX, else
+// the mapping is infeasible.
+func (m Mesh) CheckBandwidth(g *Graph, mapping []int) ([]Routing, bool) {
+	load := make(map[linkID]float64)
+	idx := make([]int, len(g.Flows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		fa, fb := g.Flows[idx[a]], g.Flows[idx[b]]
+		if fa.BW != fb.BW {
+			return fa.BW > fb.BW
+		}
+		return idx[a] < idx[b]
+	})
+	routing := make([]Routing, len(g.Flows))
+	fits := func(src, dst int, r Routing, bw float64) bool {
+		ok := true
+		m.walk(src, dst, r, func(l linkID) {
+			if load[l]+bw > m.LinkBW {
+				ok = false
+			}
+		})
+		return ok
+	}
+	commit := func(src, dst int, r Routing, bw float64) {
+		m.walk(src, dst, r, func(l linkID) { load[l] += bw })
+	}
+	for _, i := range idx {
+		f := g.Flows[i]
+		src, dst := mapping[f.Src], mapping[f.Dst]
+		switch {
+		case fits(src, dst, XY, f.BW):
+			routing[i] = XY
+			commit(src, dst, XY, f.BW)
+		case fits(src, dst, YX, f.BW):
+			routing[i] = YX
+			commit(src, dst, YX, f.BW)
+		default:
+			return nil, false
+		}
+	}
+	return routing, true
+}
+
+// MapResult is the outcome of the branch-and-bound mapper.
+type MapResult struct {
+	Mapping []int
+	Routing []Routing
+	Energy  energy.PJ
+	// Visited counts explored search nodes (for reporting).
+	Visited uint64
+}
+
+// MapBnB finds a minimum-energy bandwidth-feasible mapping by
+// branch-and-bound. maxNodes caps the search (0 means 50M nodes); the best
+// mapping found so far is returned if the cap is hit, making the mapper an
+// anytime algorithm.
+func MapBnB(m Mesh, g *Graph, maxNodes uint64) (*MapResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.N > m.Tiles() {
+		return nil, fmt.Errorf("noc: %d cores exceed %d tiles", g.N, m.Tiles())
+	}
+	if maxNodes == 0 {
+		maxNodes = 50_000_000
+	}
+
+	// Order IPs by total communication volume, descending: placing the
+	// talkative cores first makes bounds tight early.
+	vol := make([]float64, g.N)
+	for _, f := range g.Flows {
+		vol[f.Src] += f.Volume
+		vol[f.Dst] += f.Volume
+	}
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if vol[order[a]] != vol[order[b]] {
+			return vol[order[a]] > vol[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	// Per-IP flow adjacency for incremental cost.
+	adj := make([][]Flow, g.N)
+	for _, f := range g.Flows {
+		adj[f.Src] = append(adj[f.Src], f)
+		adj[f.Dst] = append(adj[f.Dst], f)
+	}
+
+	// Initial incumbent: greedy row-major if feasible, else +inf.
+	best := &MapResult{Energy: energy.PJ(1e30)}
+	if rm := RowMajor(g.N); true {
+		if routing, ok := m.CheckBandwidth(g, rm); ok {
+			best = &MapResult{Mapping: append([]int(nil), rm...), Routing: routing, Energy: m.CommEnergy(g, rm)}
+		}
+	}
+
+	mapping := make([]int, g.N)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	usedTile := make([]bool, m.Tiles())
+	var visited uint64
+
+	minBit := m.BitEnergy(1) // cheapest possible non-zero-hop cost
+
+	var dfs func(pos int, cost energy.PJ)
+	dfs = func(pos int, cost energy.PJ) {
+		if visited >= maxNodes {
+			return
+		}
+		visited++
+		if cost >= best.Energy {
+			return
+		}
+		if pos == g.N {
+			if routing, ok := m.CheckBandwidth(g, mapping); ok {
+				best = &MapResult{
+					Mapping: append([]int(nil), mapping...),
+					Routing: routing,
+					Energy:  cost,
+				}
+			}
+			return
+		}
+		ip := order[pos]
+		for tile := 0; tile < m.Tiles(); tile++ {
+			if usedTile[tile] {
+				continue
+			}
+			// Symmetry breaking: the first IP only explores one
+			// octant representative set of the mesh.
+			if pos == 0 && !inOctant(m, tile) {
+				continue
+			}
+			mapping[ip] = tile
+			usedTile[tile] = true
+			// Incremental exact cost of flows now fully placed, plus an
+			// admissible 1-hop bound for half-placed flows.
+			inc := energy.PJ(0)
+			for _, f := range adj[ip] {
+				other := f.Src
+				if other == ip {
+					other = f.Dst
+				}
+				if mapping[other] >= 0 {
+					h := m.dist(tile, mapping[other])
+					inc += energy.PJ(f.Volume) * m.BitEnergy(h)
+				}
+			}
+			lb := cost + inc
+			// Lower-bound the flows with exactly one endpoint placed
+			// among remaining IPs: each costs at least volume*e_bit(1)
+			// unless endpoints could be adjacent... 0 hops impossible
+			// (distinct tiles), so 1 hop is admissible.
+			for p2 := pos + 1; p2 < g.N; p2++ {
+				u := order[p2]
+				for _, f := range adj[u] {
+					other := f.Src
+					if other == u {
+						other = f.Dst
+					}
+					// Count half-placed flows once (from their unplaced
+					// endpoint) and unplaced-unplaced flows once (from
+					// the smaller-index endpoint).
+					if mapping[other] >= 0 || u < other {
+						lb += energy.PJ(f.Volume) * minBit
+					}
+				}
+			}
+			if lb < best.Energy {
+				dfs(pos+1, cost+inc)
+			}
+			mapping[ip] = -1
+			usedTile[tile] = false
+		}
+	}
+	dfs(0, 0)
+	best.Visited = visited
+	if best.Mapping == nil {
+		return nil, fmt.Errorf("noc: no bandwidth-feasible mapping found")
+	}
+	return best, nil
+}
+
+// inOctant restricts the first placed IP to a canonical region:
+// one octant for square meshes (8 symmetries), one quadrant otherwise
+// (4 symmetries).
+func inOctant(m Mesh, tile int) bool {
+	x, y := m.coord(tile)
+	if x >= (m.W+1)/2 || y >= (m.H+1)/2 {
+		return false
+	}
+	if m.W == m.H {
+		return x <= y
+	}
+	return true
+}

@@ -1,0 +1,259 @@
+// Package partition implements energy-driven multi-bank memory
+// partitioning for embedded systems (DATE'03 1B.1 substrate).
+//
+// Given a per-block access profile of a contiguous memory image, the
+// optimizer splits the image into at most K contiguous banks so that total
+// memory energy — per-access energy that grows with bank size, bank-select
+// decoding, and leakage — is minimized. Hot, small banks serve most
+// accesses cheaply; cold data is relegated to large banks that are rarely
+// activated. The optimizer is an exact O(B²·K) dynamic program over block
+// boundaries.
+//
+// Bank capacities are rounded up to the next power of two, as real SRAM
+// macros are: the rounding wastage is exactly what address clustering
+// (package cluster) reduces.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"lpmem/internal/energy"
+	"lpmem/internal/trace"
+)
+
+// BlockStats holds per-block access counts.
+type BlockStats struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total returns reads+writes.
+func (b BlockStats) Total() uint64 { return b.Reads + b.Writes }
+
+// Spec is a partitioning problem: a contiguous sequence of blocks with
+// access statistics.
+type Spec struct {
+	// BlockSize is the block granularity in bytes (power of two).
+	BlockSize uint32
+	// Blocks holds per-block statistics; block i covers bytes
+	// [i*BlockSize, (i+1)*BlockSize) of the normalized memory image.
+	Blocks []BlockStats
+	// Cycles is the execution length used to charge leakage.
+	Cycles uint64
+}
+
+// TotalAccesses returns the total access count across all blocks.
+func (s *Spec) TotalAccesses() uint64 {
+	var n uint64
+	for _, b := range s.Blocks {
+		n += b.Total()
+	}
+	return n
+}
+
+// SpecFromTrace builds a Spec from the data accesses of a trace. The
+// occupied blocks are compacted in ascending address order (the linker
+// view of the memory image). The returned slice maps block index to the
+// original block base address, so callers can translate back.
+func SpecFromTrace(t *trace.Trace, blockSize uint32, cycles uint64) (*Spec, []uint32) {
+	if blockSize == 0 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("partition: block size %d is not a power of two", blockSize))
+	}
+	type rw struct{ r, w uint64 }
+	counts := make(map[uint32]*rw)
+	mask := ^(blockSize - 1)
+	for _, a := range t.Accesses {
+		if a.Kind == trace.Fetch {
+			continue
+		}
+		base := a.Addr & mask
+		c, ok := counts[base]
+		if !ok {
+			c = &rw{}
+			counts[base] = c
+		}
+		if a.Kind == trace.Write {
+			c.w++
+		} else {
+			c.r++
+		}
+	}
+	bases := make([]uint32, 0, len(counts))
+	for b := range counts {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	spec := &Spec{BlockSize: blockSize, Blocks: make([]BlockStats, len(bases)), Cycles: cycles}
+	for i, b := range bases {
+		spec.Blocks[i] = BlockStats{Reads: counts[b].r, Writes: counts[b].w}
+	}
+	return spec, bases
+}
+
+// Bank is one contiguous memory bank of a partition.
+type Bank struct {
+	// FirstBlock is the index of the first block held by this bank.
+	FirstBlock int
+	// NumBlocks is the number of contiguous blocks held.
+	NumBlocks int
+	// SizeBytes is the physical capacity: NumBlocks*BlockSize rounded up
+	// to a power of two.
+	SizeBytes uint32
+	// Reads and Writes are the access totals served by the bank.
+	Reads  uint64
+	Writes uint64
+}
+
+// Partition is a complete bank assignment.
+type Partition struct {
+	Banks []Bank
+}
+
+// NumBanks returns the bank count.
+func (p *Partition) NumBanks() int { return len(p.Banks) }
+
+// String renders a compact description like "[4KiB:1203 1KiB:9771]".
+func (p *Partition) String() string {
+	s := "["
+	for i, b := range p.Banks {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%dB:%d", b.SizeBytes, b.Reads+b.Writes)
+	}
+	return s + "]"
+}
+
+// pow2Ceil rounds v up to the next power of two (minimum 1).
+func pow2Ceil(v uint32) uint32 {
+	if v == 0 {
+		return 1
+	}
+	p := uint32(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// bankEnergy computes the dynamic energy of serving the given counts from
+// a bank of the given physical size.
+func bankEnergy(m energy.MemoryModel, size uint32, reads, writes uint64) energy.PJ {
+	return m.ReadEnergy(size)*energy.PJ(reads) + m.WriteEnergy(size)*energy.PJ(writes)
+}
+
+// Energy returns the total energy of serving the spec with partition p:
+// per-bank dynamic energy + bank-select overhead per access + leakage of
+// every bank over the run.
+func Energy(spec *Spec, p *Partition, m energy.MemoryModel) energy.PJ {
+	var e energy.PJ
+	for _, b := range p.Banks {
+		e += bankEnergy(m, b.SizeBytes, b.Reads, b.Writes)
+		e += m.Leakage(b.SizeBytes, spec.Cycles)
+	}
+	e += m.SelectEnergy(len(p.Banks)) * energy.PJ(spec.TotalAccesses())
+	return e
+}
+
+// Monolithic returns the single-bank partition covering the whole image.
+func Monolithic(spec *Spec) *Partition {
+	var reads, writes uint64
+	for _, b := range spec.Blocks {
+		reads += b.Reads
+		writes += b.Writes
+	}
+	return &Partition{Banks: []Bank{{
+		FirstBlock: 0,
+		NumBlocks:  len(spec.Blocks),
+		SizeBytes:  pow2Ceil(uint32(len(spec.Blocks)) * spec.BlockSize),
+		Reads:      reads,
+		Writes:     writes,
+	}}}
+}
+
+// Optimal computes the minimum-energy partition into at most maxBanks
+// contiguous banks, via dynamic programming, and returns it with its
+// energy. maxBanks must be >= 1.
+func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy.PJ) {
+	n := len(spec.Blocks)
+	if n == 0 {
+		return &Partition{}, 0
+	}
+	if maxBanks < 1 {
+		panic("partition: maxBanks must be >= 1")
+	}
+	// Prefix sums for O(1) range statistics.
+	preR := make([]uint64, n+1)
+	preW := make([]uint64, n+1)
+	for i, b := range spec.Blocks {
+		preR[i+1] = preR[i] + b.Reads
+		preW[i+1] = preW[i] + b.Writes
+	}
+	// cost(i,j): energy of one bank holding blocks [i,j), including its
+	// leakage (select overhead depends on the final bank count and is
+	// added per k below).
+	cost := func(i, j int) energy.PJ {
+		size := pow2Ceil(uint32(j-i) * spec.BlockSize)
+		return bankEnergy(m, size, preR[j]-preR[i], preW[j]-preW[i]) +
+			m.Leakage(size, spec.Cycles)
+	}
+
+	const inf = energy.PJ(1e30)
+	// dp[k][j]: min energy of splitting blocks [0,j) into exactly k banks.
+	dp := make([][]energy.PJ, maxBanks+1)
+	cut := make([][]int, maxBanks+1)
+	for k := range dp {
+		dp[k] = make([]energy.PJ, n+1)
+		cut[k] = make([]int, n+1)
+		for j := range dp[k] {
+			dp[k][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= maxBanks; k++ {
+		for j := 1; j <= n; j++ {
+			for i := k - 1; i < j; i++ {
+				if dp[k-1][i] >= inf {
+					continue
+				}
+				c := dp[k-1][i] + cost(i, j)
+				if c < dp[k][j] {
+					dp[k][j] = c
+					cut[k][j] = i
+				}
+			}
+		}
+	}
+	total := spec.TotalAccesses()
+	bestK, bestE := 1, inf
+	for k := 1; k <= maxBanks; k++ {
+		if dp[k][n] >= inf {
+			continue
+		}
+		e := dp[k][n] + m.SelectEnergy(k)*energy.PJ(total)
+		if e < bestE {
+			bestE = e
+			bestK = k
+		}
+	}
+	// Reconstruct the cuts.
+	banks := make([]Bank, 0, bestK)
+	j := n
+	for k := bestK; k >= 1; k-- {
+		i := cut[k][j]
+		banks = append(banks, Bank{
+			FirstBlock: i,
+			NumBlocks:  j - i,
+			SizeBytes:  pow2Ceil(uint32(j-i) * spec.BlockSize),
+			Reads:      preR[j] - preR[i],
+			Writes:     preW[j] - preW[i],
+		})
+		j = i
+	}
+	// Reverse into ascending block order.
+	for l, r := 0, len(banks)-1; l < r; l, r = l+1, r-1 {
+		banks[l], banks[r] = banks[r], banks[l]
+	}
+	return &Partition{Banks: banks}, bestE
+}

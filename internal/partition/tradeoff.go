@@ -1,0 +1,49 @@
+package partition
+
+import "lpmem/internal/energy"
+
+// TradeoffPoint is one point of the energy-vs-bank-count curve, the
+// figure-style output of partitioning papers: more banks cut per-access
+// energy but pay growing selector overhead, producing a characteristic
+// U-or-L-shaped curve with a sweet spot.
+type TradeoffPoint struct {
+	// MaxBanks is the bank budget of this point.
+	MaxBanks int
+	// BanksUsed is how many banks the optimum actually used.
+	BanksUsed int
+	// Energy is the optimal energy under the budget.
+	Energy energy.PJ
+}
+
+// Tradeoff sweeps the bank budget from 1 to maxBanks and returns the
+// energy curve. The curve is non-increasing in the budget (a bigger
+// budget can always fall back to fewer banks).
+func Tradeoff(spec *Spec, maxBanks int, m energy.MemoryModel) []TradeoffPoint {
+	out := make([]TradeoffPoint, 0, maxBanks)
+	for k := 1; k <= maxBanks; k++ {
+		p, e := Optimal(spec, k, m)
+		out = append(out, TradeoffPoint{MaxBanks: k, BanksUsed: p.NumBanks(), Energy: e})
+	}
+	return out
+}
+
+// Knee returns the smallest budget whose energy is within tol (a fraction,
+// e.g. 0.02) of the best energy on the curve: the point a designer would
+// pick, since further banks buy almost nothing.
+func Knee(curve []TradeoffPoint, tol float64) TradeoffPoint {
+	if len(curve) == 0 {
+		return TradeoffPoint{}
+	}
+	best := curve[0].Energy
+	for _, p := range curve {
+		if p.Energy < best {
+			best = p.Energy
+		}
+	}
+	for _, p := range curve {
+		if float64(p.Energy) <= float64(best)*(1+tol) {
+			return p
+		}
+	}
+	return curve[len(curve)-1]
+}

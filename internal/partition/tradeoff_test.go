@@ -1,0 +1,50 @@
+package partition
+
+import (
+	"testing"
+
+	"lpmem/internal/energy"
+	"lpmem/internal/workloads"
+)
+
+// TestTradeoffMonotone: the optimal energy curve never rises with budget.
+func TestTradeoffMonotone(t *testing.T) {
+	k, err := workloads.ByName("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := workloads.MustRun(k.Build(1))
+	spec, _ := SpecFromTrace(res.Trace, 64, res.Cycles)
+	curve := Tradeoff(spec, 8, energy.DefaultMemoryModel())
+	if len(curve) != 8 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Energy > curve[i-1].Energy+1e-6 {
+			t.Fatalf("curve rose at budget %d: %v > %v",
+				curve[i].MaxBanks, curve[i].Energy, curve[i-1].Energy)
+		}
+		if curve[i].BanksUsed > curve[i].MaxBanks {
+			t.Fatalf("used %d banks with budget %d", curve[i].BanksUsed, curve[i].MaxBanks)
+		}
+	}
+	t.Logf("energy curve: 1 bank %v -> 8 banks %v", curve[0].Energy, curve[7].Energy)
+}
+
+func TestKnee(t *testing.T) {
+	curve := []TradeoffPoint{
+		{MaxBanks: 1, Energy: 100},
+		{MaxBanks: 2, Energy: 60},
+		{MaxBanks: 3, Energy: 51},
+		{MaxBanks: 4, Energy: 50},
+	}
+	if got := Knee(curve, 0.05); got.MaxBanks != 3 {
+		t.Fatalf("knee = %d, want 3", got.MaxBanks)
+	}
+	if got := Knee(curve, 0); got.MaxBanks != 4 {
+		t.Fatalf("tight knee = %d, want 4", got.MaxBanks)
+	}
+	if got := Knee(nil, 0.1); got.MaxBanks != 0 {
+		t.Fatal("empty curve should return zero point")
+	}
+}

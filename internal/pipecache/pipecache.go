@@ -1,0 +1,165 @@
+// Package pipecache models high-bandwidth pipelined cache architectures,
+// reproducing DATE'03 8E.1 (Agarwal, Vijaykumar, Roy: "Exploring High
+// Bandwidth Pipelined Cache Architecture for Scaled Technology").
+//
+// In scaled technologies a cache access takes multiple clock cycles, so an
+// unpipelined cache limits bandwidth to one access per access-latency. The
+// paper banks the SRAM arrays so word-line and bit-line delays shrink
+// until the slowest stage (decode, array access, sense+mux) fits in one
+// clock, making the cache accessible every cycle. The figure of merit is
+// MOPS normalised by area and energy: banking buys throughput but pays
+// duplicated decoders and sense amplifiers.
+//
+// The delay/area/energy expressions are first-order RC models: word-line
+// delay scales with the number of columns per bank, bit-line delay with
+// rows per bank, decode with log2(rows), and banking adds a fixed per-bank
+// periphery overhead to area and energy.
+package pipecache
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech holds the first-order technology constants.
+type Tech struct {
+	// DecodePerBit is the decoder delay per address bit (ns).
+	DecodePerBit float64
+	// WordlinePerCol is word-line RC delay per column (ns).
+	WordlinePerCol float64
+	// BitlinePerRow is bit-line RC delay per row (ns).
+	BitlinePerRow float64
+	// SenseDelay is the sense-amp + output mux delay (ns).
+	SenseDelay float64
+	// PeripheryArea is the per-bank fixed area overhead (relative units).
+	PeripheryArea float64
+	// PeripheryEnergy is the per-access per-bank fixed energy overhead.
+	PeripheryEnergy float64
+	// LatchDelay and LatchArea are the per-stage pipeline latch costs.
+	LatchDelay float64
+	LatchArea  float64
+}
+
+// DefaultTech returns constants representative of an aggressive scaled
+// node where a monolithic cache access takes ~3-4 fast clocks.
+func DefaultTech() Tech {
+	return Tech{
+		DecodePerBit:    0.035,
+		WordlinePerCol:  0.0028,
+		BitlinePerRow:   0.0030,
+		SenseDelay:      0.12,
+		PeripheryArea:   0.035,
+		PeripheryEnergy: 0.32,
+		LatchDelay:      0.04,
+		LatchArea:       0.04,
+	}
+}
+
+// Design is one cache organization.
+type Design struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Banks is the number of independent banks (power of two).
+	Banks int
+	// Pipelined selects stage latches between decode / array / sense.
+	Pipelined bool
+}
+
+// Validate checks the organization.
+func (d Design) Validate() error {
+	if d.SizeBytes <= 0 || d.SizeBytes&(d.SizeBytes-1) != 0 {
+		return fmt.Errorf("pipecache: size %d not a power of two", d.SizeBytes)
+	}
+	if d.Banks <= 0 || d.Banks&(d.Banks-1) != 0 {
+		return fmt.Errorf("pipecache: banks %d not a power of two", d.Banks)
+	}
+	if d.Banks*64 > d.SizeBytes {
+		return fmt.Errorf("pipecache: %d banks too many for %d bytes", d.Banks, d.SizeBytes)
+	}
+	return nil
+}
+
+// Metrics is the evaluated design.
+type Metrics struct {
+	// StageDelays are the decode, array (wordline+bitline) and sense
+	// stage delays in ns.
+	StageDelays [3]float64
+	// Cycle is the achievable clock period: max stage delay when
+	// pipelined, total access time when not.
+	Cycle float64
+	// AccessLatency is the end-to-end latency in cycles.
+	AccessLatency int
+	// Throughput is accesses per ns.
+	Throughput float64
+	// Area and Energy are relative costs.
+	Area   float64
+	Energy float64
+	// MOPS is the paper's figure of merit: million ops per unit time per
+	// unit area per unit energy (scaled).
+	MOPS float64
+}
+
+// Evaluate computes the metrics of a design under the technology model.
+func Evaluate(d Design, t Tech) (Metrics, error) {
+	if err := d.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	bankBytes := d.SizeBytes / d.Banks
+	// Square-ish array: rows x cols of bytes.
+	rows := int(math.Sqrt(float64(bankBytes)))
+	cols := bankBytes / rows
+	addrBits := math.Log2(float64(rows))
+
+	decode := t.DecodePerBit*addrBits + 0.05
+	array := t.WordlinePerCol*float64(cols) + t.BitlinePerRow*float64(rows)
+	sense := t.SenseDelay
+
+	var m Metrics
+	m.StageDelays = [3]float64{decode, array, sense}
+	total := decode + array + sense
+	if d.Pipelined {
+		m.Cycle = math.Max(decode, math.Max(array, sense)) + t.LatchDelay
+		m.AccessLatency = 3
+	} else {
+		m.Cycle = total
+		m.AccessLatency = 1
+	}
+	m.Throughput = 1 / m.Cycle
+	// Area: array area + per-bank periphery + pipeline latches.
+	m.Area = 1 + t.PeripheryArea*float64(d.Banks)
+	if d.Pipelined {
+		m.Area += t.LatchArea * float64(m.AccessLatency)
+	}
+	// Energy per access: one bank is active; smaller banks are cheaper,
+	// but each extra bank adds periphery (decoders, routing), and
+	// pipeline latches burn clock energy every cycle.
+	m.Energy = math.Sqrt(float64(bankBytes))/math.Sqrt(float64(d.SizeBytes)) +
+		t.PeripheryEnergy*float64(d.Banks)/32
+	if d.Pipelined {
+		m.Energy += 0.03 * float64(m.AccessLatency)
+	}
+	m.MOPS = m.Throughput / (m.Area * m.Energy) * 1000
+	return m, nil
+}
+
+// Best sweeps bank counts for a capacity and returns the design with the
+// highest MOPS under the pipelining choice.
+func Best(sizeBytes int, pipelined bool, t Tech) (Design, Metrics, error) {
+	var bestD Design
+	var bestM Metrics
+	found := false
+	for banks := 1; banks*64 <= sizeBytes && banks <= 64; banks <<= 1 {
+		d := Design{SizeBytes: sizeBytes, Banks: banks, Pipelined: pipelined}
+		m, err := Evaluate(d, t)
+		if err != nil {
+			return Design{}, Metrics{}, err
+		}
+		if !found || m.MOPS > bestM.MOPS {
+			bestD, bestM, found = d, m, true
+		}
+	}
+	if !found {
+		return Design{}, Metrics{}, fmt.Errorf("pipecache: no feasible design for %d bytes", sizeBytes)
+	}
+	return bestD, bestM, nil
+}

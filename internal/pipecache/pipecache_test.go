@@ -1,0 +1,94 @@
+package pipecache
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	bad := []Design{
+		{SizeBytes: 3000, Banks: 1},
+		{SizeBytes: 4096, Banks: 3},
+		{SizeBytes: 4096, Banks: 0},
+		{SizeBytes: 1024, Banks: 64},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("design %+v should be invalid", d)
+		}
+	}
+}
+
+// TestPipeliningRaisesThroughput: at the same geometry, pipelining must
+// shorten the cycle and raise throughput, at higher latency.
+func TestPipeliningRaisesThroughput(t *testing.T) {
+	tech := DefaultTech()
+	flat, err := Evaluate(Design{SizeBytes: 32 << 10, Banks: 4, Pipelined: false}, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := Evaluate(Design{SizeBytes: 32 << 10, Banks: 4, Pipelined: true}, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.Throughput <= flat.Throughput {
+		t.Fatalf("pipelining did not raise throughput: %f <= %f", piped.Throughput, flat.Throughput)
+	}
+	if piped.AccessLatency <= flat.AccessLatency {
+		t.Fatal("pipelining must cost latency")
+	}
+}
+
+// TestBankingBalancesStages: more banks shrink the array stage.
+func TestBankingBalancesStages(t *testing.T) {
+	tech := DefaultTech()
+	prev := 1e18
+	for banks := 1; banks <= 16; banks <<= 1 {
+		m, err := Evaluate(Design{SizeBytes: 64 << 10, Banks: banks, Pipelined: true}, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.StageDelays[1] > prev {
+			t.Fatalf("array stage grew with banking at %d banks", banks)
+		}
+		prev = m.StageDelays[1]
+	}
+}
+
+// TestMOPSImprovement reproduces the paper's 40-50% claim: the best
+// pipelined banked design beats the best conventional design on MOPS by a
+// wide margin.
+func TestMOPSImprovement(t *testing.T) {
+	tech := DefaultTech()
+	for _, size := range []int{16 << 10, 32 << 10, 64 << 10} {
+		_, flat, err := Best(size, false, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dPipe, piped, err := Best(size, true, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := 100 * (piped.MOPS - flat.MOPS) / flat.MOPS
+		t.Logf("%3dKiB: flat MOPS=%.1f piped MOPS=%.1f (+%.0f%%, %d banks)",
+			size>>10, flat.MOPS, piped.MOPS, gain, dPipe.Banks)
+		if gain < 30 {
+			t.Errorf("%d bytes: MOPS gain = %.0f%%, want >= 30%%", size, gain)
+		}
+	}
+}
+
+// TestBestIsOptimalInSweep: Best must return the max-MOPS bank count.
+func TestBestIsOptimalInSweep(t *testing.T) {
+	tech := DefaultTech()
+	_, best, err := Best(32<<10, true, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for banks := 1; banks <= 64; banks <<= 1 {
+		m, err := Evaluate(Design{SizeBytes: 32 << 10, Banks: banks, Pipelined: true}, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.MOPS > best.MOPS+1e-9 {
+			t.Fatalf("sweep found better design (%d banks, %.2f > %.2f)", banks, m.MOPS, best.MOPS)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package reconfig
+
+// Synthetic applications with the structure of the multimedia/DSP codes
+// the abstract targets: a pipeline of kernels re-executed per frame,
+// passing intermediate buffers from context to context.
+
+// MultimediaApp builds a four-stage image pipeline (DCT, quantize, zigzag,
+// entropy-code) executed for the given number of frames. Four distinct
+// contexts fit the default four context planes, so a good scheduler loads
+// each configuration exactly once.
+func MultimediaApp(frames int) *App {
+	app := &App{
+		Buffers: []Buffer{
+			{Name: "frameIn", Size: 8192},
+			{Name: "blockBuf", Size: 1024},
+			{Name: "coefBuf", Size: 1024},
+			{Name: "zigzagBuf", Size: 1024},
+			{Name: "qtab", Size: 256},
+			{Name: "outBuf", Size: 4096},
+		},
+		Contexts: []Context{
+			{Name: "dct", ConfigSize: 2048, Uses: []Use{
+				{Buffer: "frameIn", Reads: 2048},
+				{Buffer: "blockBuf", Reads: 4096, Writes: 4096},
+				{Buffer: "coefBuf", Writes: 2048},
+			}},
+			{Name: "quant", ConfigSize: 1024, Uses: []Use{
+				{Buffer: "coefBuf", Reads: 2048, Writes: 2048},
+				{Buffer: "qtab", Reads: 2048},
+			}},
+			{Name: "zigzag", ConfigSize: 512, Uses: []Use{
+				{Buffer: "coefBuf", Reads: 2048},
+				{Buffer: "zigzagBuf", Writes: 2048},
+			}},
+			{Name: "huff", ConfigSize: 1536, Uses: []Use{
+				{Buffer: "zigzagBuf", Reads: 2048},
+				{Buffer: "outBuf", Writes: 1024},
+			}},
+		},
+	}
+	for f := 0; f < frames; f++ {
+		app.Sequence = append(app.Sequence, 0, 1, 2, 3)
+	}
+	return app
+}
+
+// WideApp builds a six-context pipeline that exceeds the default four
+// context planes, exercising configuration replacement.
+func WideApp(frames int) *App {
+	app := MultimediaApp(0)
+	app.Buffers = append(app.Buffers,
+		Buffer{Name: "motionBuf", Size: 2048},
+		Buffer{Name: "refFrame", Size: 8192},
+	)
+	app.Contexts = append(app.Contexts,
+		Context{Name: "motion", ConfigSize: 2560, Uses: []Use{
+			{Buffer: "refFrame", Reads: 4096},
+			{Buffer: "motionBuf", Reads: 1024, Writes: 1024},
+		}},
+		Context{Name: "filter", ConfigSize: 1024, Uses: []Use{
+			{Buffer: "motionBuf", Reads: 1024},
+			{Buffer: "frameIn", Writes: 2048},
+		}},
+	)
+	for f := 0; f < frames; f++ {
+		app.Sequence = append(app.Sequence, 4, 5, 0, 1, 2, 3)
+	}
+	return app
+}

@@ -1,0 +1,301 @@
+// Package reconfig models a multi-context coarse-grained reconfigurable
+// architecture with two on-chip data-memory levels and implements the
+// energy-aware data scheduler of DATE'03 1B.4 (Sánchez-Élez et al., "Low
+// Energy Data Management for Different On-Chip Memory Levels in
+// Multi-Context Reconfigurable Architectures").
+//
+// An application is a fixed sequence of contexts (kernel configurations
+// loaded onto the array). Each context reads and writes named data
+// buffers. The Data Scheduler decides, context by context, in which
+// memory level each buffer lives — small per-cluster L1 RAMs, the shared
+// on-chip L2, or external memory — to minimize the sum of data-access
+// energy, inter-level transfer energy and context-reconfiguration energy.
+// Two effects drive the savings: hot buffers are promoted to cheap L1
+// storage, and buffers passed between contexts are kept on-chip instead of
+// spilling to external memory. Keeping frequently re-executed contexts
+// resident in the architecture's context planes likewise avoids repeated
+// configuration fetches.
+package reconfig
+
+import (
+	"fmt"
+	"sort"
+
+	"lpmem/internal/energy"
+)
+
+// Level identifies a memory level.
+type Level int
+
+// Memory levels, cheapest first.
+const (
+	L1 Level = iota
+	L2
+	External
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case External:
+		return "EXT"
+	}
+	return "?"
+}
+
+// Arch describes the reconfigurable platform.
+type Arch struct {
+	// L1Cap and L2Cap are on-chip capacities in bytes.
+	L1Cap, L2Cap uint32
+	// ContextPlanes is how many configurations stay resident on the
+	// array simultaneously (the "multi-context" feature).
+	ContextPlanes int
+	// Read/Write energy per word access at each level.
+	L1Read, L1Write   energy.PJ
+	L2Read, L2Write   energy.PJ
+	ExtRead, ExtWrite energy.PJ
+	// TransferPerWord is the cost of moving one word between adjacent
+	// levels.
+	TransferPerWord energy.PJ
+	// ConfigPerByte is the cost of fetching configuration bits from
+	// external memory into a context plane.
+	ConfigPerByte energy.PJ
+}
+
+// DefaultArch returns the platform used by the E4 experiment, derived from
+// the shared SRAM model.
+func DefaultArch(m energy.MemoryModel) Arch {
+	return Arch{
+		L1Cap:           2048,
+		L2Cap:           16384,
+		ContextPlanes:   4,
+		L1Read:          m.ReadEnergy(2048),
+		L1Write:         m.WriteEnergy(2048),
+		L2Read:          m.ReadEnergy(16384),
+		L2Write:         m.WriteEnergy(16384),
+		ExtRead:         60,
+		ExtWrite:        66,
+		TransferPerWord: 8,
+		ConfigPerByte:   0.4,
+	}
+}
+
+func (a Arch) read(l Level) energy.PJ {
+	switch l {
+	case L1:
+		return a.L1Read
+	case L2:
+		return a.L2Read
+	default:
+		return a.ExtRead
+	}
+}
+
+func (a Arch) write(l Level) energy.PJ {
+	switch l {
+	case L1:
+		return a.L1Write
+	case L2:
+		return a.L2Write
+	default:
+		return a.ExtWrite
+	}
+}
+
+// Buffer is a named data object.
+type Buffer struct {
+	Name string
+	// Size is the buffer footprint in bytes.
+	Size uint32
+}
+
+// Use is one context's traffic on one buffer.
+type Use struct {
+	Buffer string
+	// Reads and Writes are word-access counts by the context.
+	Reads, Writes uint64
+}
+
+// Context is one configuration of the array.
+type Context struct {
+	Name string
+	// ConfigSize is the configuration bitstream size in bytes.
+	ConfigSize uint32
+	// Uses lists the buffers the context touches.
+	Uses []Use
+}
+
+// App is a complete application: buffers, distinct contexts and the
+// execution sequence (indices into Contexts, with repetitions).
+type App struct {
+	Buffers  []Buffer
+	Contexts []Context
+	Sequence []int
+}
+
+// Validate checks referential integrity.
+func (app *App) Validate() error {
+	byName := make(map[string]bool, len(app.Buffers))
+	for _, b := range app.Buffers {
+		if byName[b.Name] {
+			return fmt.Errorf("reconfig: duplicate buffer %q", b.Name)
+		}
+		byName[b.Name] = true
+	}
+	for ci, c := range app.Contexts {
+		for _, u := range c.Uses {
+			if !byName[u.Buffer] {
+				return fmt.Errorf("reconfig: context %d uses unknown buffer %q", ci, u.Buffer)
+			}
+		}
+	}
+	for _, s := range app.Sequence {
+		if s < 0 || s >= len(app.Contexts) {
+			return fmt.Errorf("reconfig: sequence index %d out of range", s)
+		}
+	}
+	return nil
+}
+
+// Breakdown is the energy decomposition reported by the experiment.
+type Breakdown struct {
+	Data     energy.PJ
+	Transfer energy.PJ
+	Config   energy.PJ
+}
+
+// Total sums the components.
+func (b Breakdown) Total() energy.PJ { return b.Data + b.Transfer + b.Config }
+
+// bufSize builds the lookup used by the schedulers.
+func (app *App) bufSize() map[string]uint32 {
+	m := make(map[string]uint32, len(app.Buffers))
+	for _, b := range app.Buffers {
+		m[b.Name] = b.Size
+	}
+	return m
+}
+
+// Baseline computes the energy of the naive execution: every buffer lives
+// in external memory and every context execution fetches its
+// configuration from external memory.
+func Baseline(app *App, arch Arch) (Breakdown, error) {
+	if err := app.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	var bd Breakdown
+	for _, si := range app.Sequence {
+		c := app.Contexts[si]
+		for _, u := range c.Uses {
+			bd.Data += arch.ExtRead*energy.PJ(u.Reads) + arch.ExtWrite*energy.PJ(u.Writes)
+		}
+		bd.Config += arch.ConfigPerByte * energy.PJ(c.ConfigSize)
+	}
+	return bd, nil
+}
+
+// Schedule runs the energy-aware data scheduler and returns the resulting
+// breakdown plus the per-step placements (step -> buffer -> level).
+func Schedule(app *App, arch Arch) (Breakdown, []map[string]Level, error) {
+	if err := app.Validate(); err != nil {
+		return Breakdown{}, nil, err
+	}
+	size := app.bufSize()
+	var bd Breakdown
+	placements := make([]map[string]Level, len(app.Sequence))
+
+	// Current residence of each buffer (initially external).
+	where := make(map[string]Level, len(app.Buffers))
+	for _, b := range app.Buffers {
+		where[b.Name] = External
+	}
+
+	// Context-plane management. The scheduler knows the whole sequence
+	// offline, so it uses Belady replacement: evict the resident
+	// configuration whose next execution is farthest in the future.
+	nextUse := func(ctx, after int) int {
+		for s := after + 1; s < len(app.Sequence); s++ {
+			if app.Sequence[s] == ctx {
+				return s
+			}
+		}
+		return len(app.Sequence) + ctx // never again; stable order
+	}
+	resident := make(map[int]bool, arch.ContextPlanes)
+	for step, si := range app.Sequence {
+		c := app.Contexts[si]
+		// Configuration energy: pay only when the context is not
+		// resident in a plane.
+		if !resident[si] {
+			if len(resident) >= arch.ContextPlanes {
+				victim, farthest := -1, -1
+				for ctx := range resident {
+					if n := nextUse(ctx, step); n > farthest {
+						victim, farthest = ctx, n
+					}
+				}
+				delete(resident, victim)
+			}
+			bd.Config += arch.ConfigPerByte * energy.PJ(c.ConfigSize)
+			resident[si] = true
+		}
+
+		// Place the context's buffers: order by access density, fill L1
+		// then L2 then external.
+		uses := append([]Use(nil), c.Uses...)
+		sort.Slice(uses, func(i, j int) bool {
+			di := float64(uses[i].Reads+uses[i].Writes) / float64(size[uses[i].Buffer])
+			dj := float64(uses[j].Reads+uses[j].Writes) / float64(size[uses[j].Buffer])
+			if di != dj {
+				return di > dj
+			}
+			return uses[i].Buffer < uses[j].Buffer
+		})
+		var l1Used, l2Used uint32
+		// Buffers not used by this context but still resident on-chip
+		// keep their space (they may be consumed later).
+		usedBy := make(map[string]bool, len(uses))
+		for _, u := range uses {
+			usedBy[u.Buffer] = true
+		}
+		for name, lvl := range where {
+			if usedBy[name] {
+				continue
+			}
+			switch lvl {
+			case L1:
+				l1Used += size[name]
+			case L2:
+				l2Used += size[name]
+			}
+		}
+		placement := make(map[string]Level, len(uses))
+		for _, u := range uses {
+			sz := size[u.Buffer]
+			var target Level
+			switch {
+			case l1Used+sz <= arch.L1Cap:
+				target = L1
+				l1Used += sz
+			case l2Used+sz <= arch.L2Cap:
+				target = L2
+				l2Used += sz
+			default:
+				target = External
+			}
+			// Transfer cost if the buffer moves levels (word = 4 bytes).
+			if where[u.Buffer] != target {
+				bd.Transfer += arch.TransferPerWord * energy.PJ(sz/4)
+			}
+			where[u.Buffer] = target
+			placement[u.Buffer] = target
+			bd.Data += arch.read(target)*energy.PJ(u.Reads) + arch.write(target)*energy.PJ(u.Writes)
+		}
+		placements[step] = placement
+	}
+	return bd, placements, nil
+}

@@ -1,0 +1,147 @@
+package reconfig
+
+import (
+	"testing"
+
+	"lpmem/internal/energy"
+)
+
+func arch() Arch { return DefaultArch(energy.DefaultMemoryModel()) }
+
+func TestValidate(t *testing.T) {
+	app := &App{
+		Buffers:  []Buffer{{Name: "a", Size: 64}},
+		Contexts: []Context{{Name: "c", Uses: []Use{{Buffer: "ghost", Reads: 1}}}},
+	}
+	if err := app.Validate(); err == nil {
+		t.Fatal("unknown buffer must be rejected")
+	}
+	app2 := &App{Buffers: []Buffer{{Name: "a"}, {Name: "a"}}}
+	if err := app2.Validate(); err == nil {
+		t.Fatal("duplicate buffer must be rejected")
+	}
+	app3 := &App{Sequence: []int{5}}
+	if err := app3.Validate(); err == nil {
+		t.Fatal("out-of-range sequence must be rejected")
+	}
+}
+
+// TestScheduleBeatsBaseline: the data scheduler must reduce every energy
+// component on the multimedia pipeline.
+func TestScheduleBeatsBaseline(t *testing.T) {
+	app := MultimediaApp(16)
+	base, err := Baseline(app, arch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _, err := Schedule(app, arch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: data=%.0f cfg=%.0f | scheduled: data=%.0f xfer=%.0f cfg=%.0f | total %.0f -> %.0f (%.1f%%)",
+		float64(base.Data), float64(base.Config),
+		float64(sched.Data), float64(sched.Transfer), float64(sched.Config),
+		float64(base.Total()), float64(sched.Total()),
+		100*(1-float64(sched.Total())/float64(base.Total())))
+	if sched.Total() >= base.Total() {
+		t.Fatalf("scheduler did not save energy: %v >= %v", sched.Total(), base.Total())
+	}
+	if sched.Config >= base.Config {
+		t.Errorf("multi-context planes should cut config energy: %v >= %v", sched.Config, base.Config)
+	}
+	if sched.Data >= base.Data {
+		t.Errorf("on-chip placement should cut data energy: %v >= %v", sched.Data, base.Data)
+	}
+}
+
+// TestConfigEnergyLoadedOncePerPlaneFit: with 4 contexts and 4 planes the
+// scheduled config energy must equal loading each configuration once.
+func TestConfigEnergyLoadedOncePerPlaneFit(t *testing.T) {
+	app := MultimediaApp(8)
+	a := arch()
+	sched, _, err := Schedule(app, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once energy.PJ
+	for _, c := range app.Contexts {
+		once += a.ConfigPerByte * energy.PJ(c.ConfigSize)
+	}
+	if sched.Config != once {
+		t.Fatalf("config energy = %v, want exactly one load per context = %v", sched.Config, once)
+	}
+}
+
+// TestWideAppConfigThrash: six contexts on four planes must cost more than
+// one load each but still far less than reloading every step.
+func TestWideAppConfigThrash(t *testing.T) {
+	app := WideApp(8)
+	a := arch()
+	base, err := Baseline(app, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _, err := Schedule(app, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once energy.PJ
+	for _, c := range app.Contexts {
+		once += a.ConfigPerByte * energy.PJ(c.ConfigSize)
+	}
+	if sched.Config <= once {
+		t.Errorf("with plane thrash config energy should exceed one-load-each (%v <= %v)", sched.Config, once)
+	}
+	if sched.Config >= base.Config {
+		t.Errorf("scheduled config energy should still beat reload-every-step (%v >= %v)", sched.Config, base.Config)
+	}
+}
+
+// TestPlacementsRespectCapacity: at every step, the footprint placed into
+// L1 and L2 must fit.
+func TestPlacementsRespectCapacity(t *testing.T) {
+	app := WideApp(12)
+	a := arch()
+	_, placements, err := Schedule(app, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := map[string]uint32{}
+	for _, b := range app.Buffers {
+		size[b.Name] = b.Size
+	}
+	for step, pl := range placements {
+		var l1, l2 uint32
+		for buf, lvl := range pl {
+			switch lvl {
+			case L1:
+				l1 += size[buf]
+			case L2:
+				l2 += size[buf]
+			}
+		}
+		if l1 > a.L1Cap {
+			t.Fatalf("step %d: L1 overcommitted (%d > %d)", step, l1, a.L1Cap)
+		}
+		if l2 > a.L2Cap {
+			t.Fatalf("step %d: L2 overcommitted (%d > %d)", step, l2, a.L2Cap)
+		}
+	}
+}
+
+// TestSteadyStateNoTransfers: once the pipeline reaches steady state, the
+// hot buffers stay resident and transfer energy stops growing.
+func TestSteadyStateNoTransfers(t *testing.T) {
+	short, _, err := Schedule(MultimediaApp(4), arch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, _, err := Schedule(MultimediaApp(32), arch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Transfer > short.Transfer*2 {
+		t.Errorf("transfer energy grows with frames: %v vs %v — buffers are thrashing",
+			long.Transfer, short.Transfer)
+	}
+}

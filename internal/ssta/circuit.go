@@ -1,0 +1,240 @@
+package ssta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Gate is one node of the timing graph with a Gaussian delay.
+type Gate struct {
+	// Mu and Sigma parameterize the gate's delay distribution.
+	Mu, Sigma float64
+	// Fanin lists driving gate indices; empty means primary input.
+	Fanin []int
+}
+
+// Circuit is a combinational timing graph. Outputs lists the indices of
+// the gates whose arrival time defines circuit delay.
+type Circuit struct {
+	Gates   []Gate
+	Outputs []int
+}
+
+// Validate checks indices and acyclicity.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		for _, f := range g.Fanin {
+			if f < 0 || f >= len(c.Gates) {
+				return fmt.Errorf("ssta: gate %d has bad fanin %d", i, f)
+			}
+			if f >= i {
+				return fmt.Errorf("ssta: gate %d fanin %d not topologically ordered", i, f)
+			}
+		}
+		if g.Mu < 0 || g.Sigma < 0 {
+			return fmt.Errorf("ssta: gate %d has negative delay parameters", i)
+		}
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || o >= len(c.Gates) {
+			return fmt.Errorf("ssta: bad output index %d", o)
+		}
+	}
+	if len(c.Outputs) == 0 {
+		return fmt.Errorf("ssta: circuit has no outputs")
+	}
+	return nil
+}
+
+// Grid describes the discretization used by the bound propagation.
+type Grid struct {
+	T0   float64
+	Step float64
+	N    int
+}
+
+// DefaultGridFor sizes a grid from the circuit's worst-case depth.
+func DefaultGridFor(c *Circuit) Grid {
+	// Longest mean path + 6 sigma margin.
+	arr := make([]float64, len(c.Gates))
+	sig := make([]float64, len(c.Gates))
+	maxT := 0.0
+	for i, g := range c.Gates {
+		in, insig := 0.0, 0.0
+		for _, f := range g.Fanin {
+			if arr[f] > in {
+				in, insig = arr[f], sig[f]
+			}
+		}
+		arr[i] = in + g.Mu
+		sig[i] = insig + g.Sigma
+		if t := arr[i] + 6*sig[i]; t > maxT {
+			maxT = t
+		}
+	}
+	step := maxT / 400
+	if step <= 0 {
+		step = 0.01
+	}
+	return Grid{T0: 0, Step: step, N: 440}
+}
+
+// Bounds propagates the lower and upper bound distributions through the
+// circuit in one topological pass each and returns the circuit-level
+// bounds (merged over all outputs with the same rule).
+func Bounds(c *Circuit, grid Grid) (lower, upper *Dist, err error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	merge := func(kind int, a, b *Dist) (*Dist, error) {
+		if kind == 0 {
+			return MaxFrechet(a, b)
+		}
+		return MaxIndep(a, b)
+	}
+	var results [2]*Dist
+	for kind := 0; kind < 2; kind++ {
+		arr := make([]*Dist, len(c.Gates))
+		for i, g := range c.Gates {
+			var in *Dist
+			if len(g.Fanin) == 0 {
+				in = Point(grid.T0, grid.Step, grid.N, 0)
+			} else {
+				in = arr[g.Fanin[0]]
+				for _, f := range g.Fanin[1:] {
+					in, err = merge(kind, in, arr[f])
+					if err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			// Add the gate's own delay.
+			k := int(6*g.Sigma/grid.Step) + 2
+			dT0, pdf := GaussPDF(grid.Step, g.Mu, g.Sigma, k)
+			shifted := in.AddPDF(dT0, pdf)
+			// Re-anchor onto the common grid with direction-aware
+			// rounding so discretization can never flip a bound:
+			// the lower bound rounds its CDF up (delay down), the
+			// upper bound rounds its CDF down (delay up).
+			arr[i] = reanchor(shifted, grid, kind == 0)
+		}
+		out := arr[c.Outputs[0]]
+		for _, o := range c.Outputs[1:] {
+			out, err = merge(kind, out, arr[o])
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		results[kind] = out
+	}
+	return results[0], results[1], nil
+}
+
+// reanchor resamples a distribution onto the canonical grid. roundUp
+// selects conservative rounding for the lower bound (CDF rounded up, so
+// the reanchored variable is stochastically no larger); with roundUp
+// false the CDF is rounded down (variable no smaller), as the upper bound
+// requires.
+func reanchor(d *Dist, grid Grid, roundUp bool) *Dist {
+	out := NewGrid(grid.T0, grid.Step, grid.N)
+	for i := range out.CDF {
+		t := grid.T0 + float64(i)*grid.Step
+		x := (t - d.T0) / d.Step
+		var j int
+		if roundUp {
+			j = int(math.Ceil(x))
+		} else {
+			j = int(math.Floor(x))
+		}
+		switch {
+		case j < 0:
+			out.CDF[i] = 0
+		case j >= len(d.CDF):
+			out.CDF[i] = 1
+		default:
+			out.CDF[i] = d.CDF[j]
+		}
+	}
+	return out
+}
+
+// MonteCarlo estimates the exact circuit delay distribution by sampling
+// all gate delays jointly (which captures every reconvergence correlation)
+// and returns the samples sorted ascending.
+func MonteCarlo(c *Circuit, samples int, seed int64) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, samples)
+	arr := make([]float64, len(c.Gates))
+	for s := 0; s < samples; s++ {
+		for i, g := range c.Gates {
+			in := 0.0
+			for _, f := range g.Fanin {
+				if arr[f] > in {
+					in = arr[f]
+				}
+			}
+			d := g.Mu + rng.NormFloat64()*g.Sigma
+			if d < 0 {
+				d = 0
+			}
+			arr[i] = in + d
+		}
+		best := 0.0
+		for _, o := range c.Outputs {
+			if arr[o] > best {
+				best = arr[o]
+			}
+		}
+		out[s] = best
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// SampleQuantile returns the q-quantile of sorted Monte Carlo samples.
+func SampleQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RandomCircuit generates a layered benchmark timing graph with heavy
+// reconvergent fanout (every gate draws fanin from the previous layer),
+// the structure that makes exact SSTA exponential.
+func RandomCircuit(seed int64, layers, width int) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Circuit{}
+	for l := 0; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			g := Gate{
+				Mu:    1 + rng.Float64(),
+				Sigma: 0.05 + 0.15*rng.Float64(),
+			}
+			if l > 0 {
+				prev := (l - 1) * width
+				nf := 1 + rng.Intn(3)
+				seen := map[int]bool{}
+				for len(g.Fanin) < nf {
+					f := prev + rng.Intn(width)
+					if !seen[f] {
+						seen[f] = true
+						g.Fanin = append(g.Fanin, f)
+					}
+				}
+				sort.Ints(g.Fanin)
+			}
+			c.Gates = append(c.Gates, g)
+		}
+	}
+	for w := 0; w < width; w++ {
+		c.Outputs = append(c.Outputs, (layers-1)*width+w)
+	}
+	return c
+}

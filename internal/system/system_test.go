@@ -1,0 +1,85 @@
+package system
+
+import (
+	"testing"
+
+	"lpmem/internal/workloads"
+)
+
+func TestRunAllKernels(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, k := range workloads.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			res, err := Run(k.Build(1), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalCycles < res.CoreCycles {
+				t.Fatal("stalls cannot reduce cycles")
+			}
+			if res.IStats.Accesses == 0 || res.DStats.Accesses == 0 {
+				t.Fatal("caches saw no traffic")
+			}
+			if res.TotalEnergy() <= 0 {
+				t.Fatal("energy must be positive")
+			}
+		})
+	}
+}
+
+// TestBiggerDCacheNeverSlower: growing the D-cache cannot add stalls.
+func TestBiggerDCacheNeverSlower(t *testing.T) {
+	k, _ := workloads.ByName("listchase")
+	prevStalls := uint64(1 << 62)
+	for _, sets := range []int{16, 64, 256} {
+		cfg := DefaultConfig()
+		cfg.DCache.Sets = sets
+		res, err := Run(k.Build(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StallCycles > prevStalls {
+			t.Fatalf("stalls grew with cache size at %d sets: %d > %d",
+				sets, res.StallCycles, prevStalls)
+		}
+		prevStalls = res.StallCycles
+	}
+}
+
+// TestMissPenaltyScalesStalls: doubling the miss penalty doubles stall
+// cycles exactly (same miss count).
+func TestMissPenaltyScalesStalls(t *testing.T) {
+	k, _ := workloads.ByName("matmul")
+	cfg := DefaultConfig()
+	a, err := Run(k.Build(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MissPenalty *= 2
+	b, err := Run(k.Build(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.StallCycles != 2*a.StallCycles {
+		t.Fatalf("stalls %d -> %d, want exact doubling", a.StallCycles, b.StallCycles)
+	}
+	if a.CoreCycles != b.CoreCycles {
+		t.Fatal("core cycles must not depend on memory latency")
+	}
+}
+
+// TestCPIReasonable: with caches, CPI should be near the core CPI.
+func TestCPIReasonable(t *testing.T) {
+	k, _ := workloads.ByName("fir")
+	res, err := Run(k.Build(1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := k.Build(1)
+	r2 := workloads.MustRun(inst)
+	cpi := res.CPI(r2.Retired)
+	if cpi < 1 || cpi > 5 {
+		t.Fatalf("CPI = %.2f, outside plausible range", cpi)
+	}
+}

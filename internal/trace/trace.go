@@ -1,0 +1,243 @@
+// Package trace provides memory-access traces: the lingua franca of every
+// optimization in this repository.
+//
+// A Trace is an ordered sequence of Access records (address, kind, width,
+// value). Traces are produced by the µRISC interpreter (internal/isa), the
+// VLIW engine (internal/vliw) or by the synthetic generators in this
+// package, and consumed by the partitioning, clustering, caching, encoding
+// and scheduling passes.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the access type.
+type Kind uint8
+
+const (
+	// Read is a data load.
+	Read Kind = iota
+	// Write is a data store.
+	Write
+	// Fetch is an instruction fetch.
+	Fetch
+)
+
+// String returns the single-letter mnemonic used in the text format.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case Fetch:
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// ParseKind converts a mnemonic back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "R":
+		return Read, nil
+	case "W":
+		return Write, nil
+	case "F":
+		return Fetch, nil
+	}
+	return 0, fmt.Errorf("trace: unknown access kind %q", s)
+}
+
+// Access is a single memory reference.
+type Access struct {
+	// Addr is the byte address of the reference.
+	Addr uint32
+	// Value is the datum transferred (zero-extended for narrow widths).
+	Value uint32
+	// Width is the transfer size in bytes (1, 2 or 4).
+	Width uint8
+	// Kind is the access type.
+	Kind Kind
+}
+
+// Trace is an ordered sequence of accesses.
+type Trace struct {
+	Accesses []Access
+}
+
+// New returns an empty trace with the given capacity hint.
+func New(capacity int) *Trace {
+	return &Trace{Accesses: make([]Access, 0, capacity)}
+}
+
+// Append adds a single access.
+func (t *Trace) Append(a Access) { t.Accesses = append(t.Accesses, a) }
+
+// Len returns the number of accesses.
+func (t *Trace) Len() int { return len(t.Accesses) }
+
+// Filter returns a new trace containing only accesses for which keep
+// returns true. The receiver is unmodified.
+func (t *Trace) Filter(keep func(Access) bool) *Trace {
+	out := New(len(t.Accesses) / 2)
+	for _, a := range t.Accesses {
+		if keep(a) {
+			out.Append(a)
+		}
+	}
+	return out
+}
+
+// Data returns the sub-trace of loads and stores (no fetches).
+func (t *Trace) Data() *Trace {
+	return t.Filter(func(a Access) bool { return a.Kind != Fetch })
+}
+
+// Remap returns a new trace with every address passed through f.
+// It is the hook used by address clustering: the clustering pass computes a
+// permutation of the address space and Remap applies it.
+func (t *Trace) Remap(f func(uint32) uint32) *Trace {
+	out := New(len(t.Accesses))
+	for _, a := range t.Accesses {
+		a.Addr = f(a.Addr)
+		out.Append(a)
+	}
+	return out
+}
+
+// AddressRange reports the smallest and largest address referenced.
+// ok is false for an empty trace.
+func (t *Trace) AddressRange() (lo, hi uint32, ok bool) {
+	if len(t.Accesses) == 0 {
+		return 0, 0, false
+	}
+	lo, hi = t.Accesses[0].Addr, t.Accesses[0].Addr
+	for _, a := range t.Accesses[1:] {
+		if a.Addr < lo {
+			lo = a.Addr
+		}
+		if a.Addr > hi {
+			hi = a.Addr
+		}
+	}
+	return lo, hi, true
+}
+
+// Profile is a per-address access histogram: the "memory access profile"
+// that memory partitioning operates on (DATE'03 1B.1 terminology).
+type Profile struct {
+	// Counts maps a block-aligned address to the number of accesses
+	// falling in that block.
+	Counts map[uint32]uint64
+	// BlockSize is the granularity, in bytes, at which addresses were
+	// aggregated. It is always a power of two.
+	BlockSize uint32
+	// Total is the total number of accesses profiled.
+	Total uint64
+}
+
+// ProfileOf aggregates a trace into per-block access counts.
+// blockSize must be a power of two; ProfileOf panics otherwise, because a
+// non-power-of-two granularity is always a programming error.
+func ProfileOf(t *Trace, blockSize uint32) *Profile {
+	if blockSize == 0 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("trace: block size %d is not a power of two", blockSize))
+	}
+	p := &Profile{Counts: make(map[uint32]uint64), BlockSize: blockSize}
+	mask := ^(blockSize - 1)
+	for _, a := range t.Accesses {
+		p.Counts[a.Addr&mask]++
+		p.Total++
+	}
+	return p
+}
+
+// Blocks returns the profiled block addresses in ascending order.
+func (p *Profile) Blocks() []uint32 {
+	blocks := make([]uint32, 0, len(p.Counts))
+	for b := range p.Counts {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	return blocks
+}
+
+// Hot returns the n most frequently accessed blocks, most frequent first.
+// Ties are broken by ascending address so the result is deterministic.
+func (p *Profile) Hot(n int) []uint32 {
+	blocks := p.Blocks()
+	sort.SliceStable(blocks, func(i, j int) bool {
+		ci, cj := p.Counts[blocks[i]], p.Counts[blocks[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return blocks[i] < blocks[j]
+	})
+	if n > len(blocks) {
+		n = len(blocks)
+	}
+	return blocks[:n]
+}
+
+// WriteText serialises the trace in a line-oriented text format:
+//
+//	<kind> <addr-hex> <width> <value-hex>
+//
+// The format is intentionally trivial so traces can be inspected, diffed
+// and crafted by hand in tests.
+func (t *Trace) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range t.Accesses {
+		if _, err := fmt.Fprintf(bw, "%s %x %d %x\n", a.Kind, a.Addr, a.Width, a.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	t := New(1024)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(fields))
+		}
+		kind, err := ParseKind(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", line, err)
+		}
+		width, err := strconv.ParseUint(fields[2], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad width: %v", line, err)
+		}
+		value, err := strconv.ParseUint(fields[3], 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad value: %v", line, err)
+		}
+		t.Append(Access{Addr: uint32(addr), Value: uint32(value), Width: uint8(width), Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

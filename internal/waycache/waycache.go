@@ -1,0 +1,165 @@
+// Package waycache implements way determination for highly associative
+// data caches (DATE'03 10E.4, Nicolaescu/Veidenbaum/Nicolau: "Reducing
+// Power Consumption for High-Associativity Data Caches in Embedded
+// Processors").
+//
+// A conventional N-way set-associative access probes all N tag and data
+// ways in parallel; energy therefore grows linearly with associativity. A
+// small Way Determination Unit (WDU) — a fully associative table of
+// recently used line addresses and the way each resides in — is consulted
+// before the cache access. On a WDU hit, exactly one way is enabled. The
+// WDU *determines* (rather than predicts) the way: it is kept coherent
+// with line movement, so a WDU hit can never enable the wrong way, and
+// there is no mis-prediction penalty or timing change.
+package waycache
+
+import (
+	"fmt"
+
+	"lpmem/internal/cache"
+	"lpmem/internal/energy"
+	"lpmem/internal/trace"
+)
+
+// WDU is the way-determination table: line address -> resident way,
+// with LRU replacement over a small number of entries.
+type WDU struct {
+	capacity int
+	entries  map[uint32]int    // line base -> way
+	lastUse  map[uint32]uint64 // line base -> timestamp
+	clock    uint64
+
+	// Hits and Lookups count coverage.
+	Hits    uint64
+	Lookups uint64
+}
+
+// NewWDU creates a table with the given entry count.
+func NewWDU(capacity int) (*WDU, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("waycache: capacity must be positive, got %d", capacity)
+	}
+	return &WDU{
+		capacity: capacity,
+		entries:  make(map[uint32]int, capacity),
+		lastUse:  make(map[uint32]uint64, capacity),
+	}, nil
+}
+
+// Lookup consults the table. It returns the way and true on a hit.
+func (w *WDU) Lookup(lineBase uint32) (int, bool) {
+	w.clock++
+	w.Lookups++
+	way, ok := w.entries[lineBase]
+	if ok {
+		w.Hits++
+		w.lastUse[lineBase] = w.clock
+	}
+	return way, ok
+}
+
+// Record inserts or updates the line->way binding, evicting the LRU entry
+// when full.
+func (w *WDU) Record(lineBase uint32, way int) {
+	w.clock++
+	if _, ok := w.entries[lineBase]; !ok && len(w.entries) >= w.capacity {
+		var victim uint32
+		oldest := uint64(1<<63 - 1)
+		for base, ts := range w.lastUse {
+			if ts < oldest || (ts == oldest && base < victim) {
+				oldest = ts
+				victim = base
+			}
+		}
+		delete(w.entries, victim)
+		delete(w.lastUse, victim)
+	}
+	w.entries[lineBase] = way
+	w.lastUse[lineBase] = w.clock
+}
+
+// Invalidate removes a binding (the line moved or was evicted).
+func (w *WDU) Invalidate(lineBase uint32) {
+	delete(w.entries, lineBase)
+	delete(w.lastUse, lineBase)
+}
+
+// Coverage returns the fraction of lookups that hit.
+func (w *WDU) Coverage() float64 {
+	if w.Lookups == 0 {
+		return 0
+	}
+	return float64(w.Hits) / float64(w.Lookups)
+}
+
+// Result summarises one simulation.
+type Result struct {
+	// Ways is the cache associativity simulated.
+	Ways int
+	// Coverage is the WDU hit fraction.
+	Coverage float64
+	// BaseEnergy is the energy of conventional all-way probing.
+	BaseEnergy energy.PJ
+	// WduEnergy is the energy with way determination.
+	WduEnergy energy.PJ
+	// HitRate is the cache hit rate (identical in both designs).
+	HitRate float64
+}
+
+// Saving returns the percent cache power reduction, the paper's headline
+// metric.
+func (r Result) Saving() float64 {
+	if r.BaseEnergy == 0 {
+		return 0
+	}
+	return 100 * float64(r.BaseEnergy-r.WduEnergy) / float64(r.BaseEnergy)
+}
+
+// Simulate replays the data accesses of tr through an N-way cache with a
+// WDU of wduEntries entries and accounts energy under cm.
+func Simulate(tr *trace.Trace, cfg cache.Config, wduEntries int, cm energy.CacheModel) (Result, error) {
+	c, err := cache.New(cfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	wdu, err := NewWDU(wduEntries)
+	if err != nil {
+		return Result{}, err
+	}
+	lineMask := ^(uint32(cfg.LineSize) - 1)
+	var base, directed energy.PJ
+	for _, a := range tr.Accesses {
+		if a.Kind == trace.Fetch {
+			continue
+		}
+		lineBase := a.Addr & lineMask
+		base += cm.ConventionalAccess(cfg.Ways)
+
+		_, known := wdu.Lookup(lineBase)
+		res := c.Access(a.Addr, a.Kind == trace.Write, a.Width, a.Value)
+		if known && res.Hit {
+			// Single-way access; the WDU is authoritative.
+			directed += cm.DirectedAccess()
+		} else {
+			// Conventional probe plus the WDU lookup that missed.
+			directed += cm.ConventionalAccess(cfg.Ways) + cm.WayTableE
+		}
+		// Keep the WDU coherent with line movement.
+		if !res.Hit {
+			if res.Evicted {
+				wdu.Invalidate(res.EvictedAddr)
+			}
+			wdu.Record(lineBase, res.Way)
+		} else if !known {
+			wdu.Record(lineBase, res.Way)
+		}
+	}
+	st := c.Stats()
+	return Result{
+		Ways:       cfg.Ways,
+		Coverage:   wdu.Coverage(),
+		BaseEnergy: base,
+		WduEnergy:  directed,
+		HitRate:    st.HitRate(),
+	}, nil
+}

@@ -1,28 +1,62 @@
 package lpmem
 
 import (
+	"context"
+	"runtime"
 	"strings"
 	"testing"
+
+	"lpmem/internal/runner"
 )
 
-// benchExperiment runs one registry experiment under testing.B. The first
-// iteration logs the regenerated table so `go test -bench -v` reproduces
-// the paper's numbers; every iteration measures the full pipeline
-// (workload execution, optimization, evaluation).
+// benchExperiment runs one registry experiment under testing.B, routed
+// through the runner engine (cache disabled so every iteration measures
+// the full pipeline: workload execution, optimization, evaluation). The
+// first iteration logs the regenerated table so `go test -bench -v`
+// reproduces the paper's numbers.
 func benchExperiment(b *testing.B, id string) {
 	exp, err := ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng := NewEngine(runner.Options{Workers: 1, NoCache: true})
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Run()
-		if err != nil {
+		reports := RunBatch(ctx, eng, []Experiment{exp})
+		if err := reports[0].Outcome.Err; err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
+			res := reports[0].Outcome.Value
 			b.Logf("%s — %s\npaper claim: %s\n%s\n%s",
 				exp.ID, exp.Title, exp.PaperClaim, res.Table.String(), res.Summary)
 		}
+	}
+}
+
+// BenchmarkRunnerAll compares a sequential full-registry run against the
+// parallel worker pool; the ratio of the two is the engine's speedup and
+// is tracked as part of the perf trajectory. The cache is disabled so
+// both variants execute all twenty experiments every iteration.
+func BenchmarkRunnerAll(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			eng := NewEngine(runner.Options{Workers: bc.workers, NoCache: true})
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				for _, r := range RunBatch(ctx, eng, Experiments()) {
+					if r.Outcome.Err != nil {
+						b.Fatalf("%s: %v", r.Experiment.ID, r.Outcome.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -3,108 +3,178 @@
 //
 // Usage:
 //
-//	lpmem list               # list experiments
-//	lpmem run E1 [E7 ...]    # run selected experiments
-//	lpmem run all            # run everything
-//	lpmem kernels            # list workload kernels
-//	lpmem trace <kernel>     # run a kernel and dump its memory trace
+//	lpmem list                          # list experiments
+//	lpmem run [flags] E1 [E7 ...]       # run selected experiments
+//	lpmem run all                       # run everything
+//	lpmem run -parallel 8 -json all     # parallel batch, JSON envelopes
+//	lpmem kernels                       # list workload kernels
+//	lpmem trace <kernel>                # run a kernel and dump its trace
+//
+// Experiments execute on the concurrent runner engine (internal/runner):
+// -parallel sets the worker-pool size, -timeout bounds each experiment,
+// and -json swaps the text tables for the same JSON envelopes lpmemd
+// serves. If any requested experiment fails, every remaining experiment
+// still runs and lpmem exits with status 1.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
 	"lpmem"
+	"lpmem/internal/runner"
 	"lpmem/internal/workloads"
 )
 
 func main() {
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 	switch args[0] {
 	case "list":
 		for _, e := range lpmem.Experiments() {
-			fmt.Printf("%-4s %-60s %s\n", e.ID, e.Title, e.PaperClaim)
+			fmt.Fprintf(stdout, "%-4s %-60s %s\n", e.ID, e.Title, e.PaperClaim)
 		}
+		return 0
 	case "run":
-		ids := args[1:]
-		if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
-			ids = nil
-			for _, e := range lpmem.Experiments() {
-				ids = append(ids, e.ID)
-			}
-		}
-		for _, id := range ids {
-			exp, err := lpmem.ByID(id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
-			fmt.Printf("paper claim: %s\n\n", exp.PaperClaim)
-			res, err := exp.Run()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s failed: %v\n", exp.ID, err)
-				os.Exit(1)
-			}
-			fmt.Print(res.Table.String())
-			fmt.Printf("\n>>> %s\n\n", res.Summary)
-		}
+		return runExperiments(args[1:], stdout, stderr)
 	case "kernels":
 		for _, k := range workloads.All() {
 			inst := k.Build(1)
-			fmt.Printf("%-12s %3d instructions, %d data regions\n",
+			fmt.Fprintf(stdout, "%-12s %3d instructions, %d data regions\n",
 				k.Name, inst.Prog.Len(), len(inst.Arrays))
 		}
+		return 0
 	case "trace":
-		if len(args) < 2 {
-			fmt.Fprintln(os.Stderr, "usage: lpmem trace <kernel> [seed]")
-			os.Exit(2)
-		}
-		seed := int64(1)
-		if len(args) >= 3 {
-			s, err := strconv.ParseInt(args[2], 10, 64)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", args[2], err)
-				os.Exit(2)
-			}
-			seed = s
-		}
-		k, err := workloads.ByName(args[1])
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		res, err := workloads.Run(k.Build(seed))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := res.Trace.WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		return runTrace(args[1:], stdout, stderr)
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `lpmem — DATE'03 low-power track reproduction driver
+// runExperiments implements `lpmem run`: resolve IDs, execute the batch
+// on the engine, render text or JSON, and report failures via exit code.
+func runExperiments(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit JSON envelopes instead of text tables")
+	timeout := fs.Duration("timeout", 0, "per-experiment deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ids := fs.Args()
+	var exps []lpmem.Experiment
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		exps = lpmem.Experiments()
+	} else {
+		for _, id := range ids {
+			exp, err := lpmem.ByID(id)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			exps = append(exps, exp)
+		}
+	}
+
+	eng := lpmem.NewEngine(runner.Options{Workers: *parallel, Timeout: *timeout})
+	reports := lpmem.RunBatch(context.Background(), eng, exps)
+
+	failed := 0
+	if *jsonOut {
+		envs := make([]lpmem.ResultJSON, len(reports))
+		for i, r := range reports {
+			envs[i] = r.JSON()
+			if envs[i].Error != "" {
+				failed++
+			}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(envs); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		for _, r := range reports {
+			fmt.Fprintf(stdout, "=== %s: %s\n", r.Experiment.ID, r.Experiment.Title)
+			fmt.Fprintf(stdout, "paper claim: %s\n\n", r.Experiment.PaperClaim)
+			if err := r.Outcome.Err; err != nil {
+				fmt.Fprintf(stderr, "%s failed: %v\n", r.Experiment.ID, err)
+				failed++
+				continue
+			}
+			fmt.Fprint(stdout, r.Outcome.Value.Table.String())
+			fmt.Fprintf(stdout, "\n>>> %s\n\n", r.Outcome.Value.Summary)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "lpmem: %d of %d experiments failed\n", failed, len(reports))
+		return 1
+	}
+	return 0
+}
+
+// runTrace implements `lpmem trace <kernel> [seed]`.
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: lpmem trace <kernel> [seed]")
+		return 2
+	}
+	seed := int64(1)
+	if len(args) >= 2 {
+		s, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(stderr, "bad seed %q: %v\n", args[1], err)
+			return 2
+		}
+		seed = s
+	}
+	k, err := workloads.ByName(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	res, err := workloads.Run(k.Build(seed))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := res.Trace.WriteText(stdout); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `lpmem — DATE'03 low-power track reproduction driver
 
 usage:
-  lpmem list             list experiments
-  lpmem run all          run every experiment
-  lpmem run E1 E7 ...    run selected experiments
-  lpmem kernels          list workload kernels
-  lpmem trace <kernel>   dump a kernel memory trace
+  lpmem list                      list experiments
+  lpmem run [flags] all           run every experiment
+  lpmem run [flags] E1 E7 ...     run selected experiments
+  lpmem kernels                   list workload kernels
+  lpmem trace <kernel> [seed]     dump a kernel memory trace
+
+run flags:
+  -parallel N    worker-pool size (default GOMAXPROCS)
+  -json          emit JSON envelopes instead of text tables
+  -timeout D     per-experiment deadline (e.g. 90s; default none)
+
+exit status: 0 on success, 1 if any experiment failed, 2 on usage errors.
 `)
 }

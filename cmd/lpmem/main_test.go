@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"lpmem"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// durationRE blanks the only non-deterministic envelope field so JSON
+// output can be golden-tested byte-for-byte.
+var durationRE = regexp.MustCompile(`"duration_ms": [0-9.e+-]+`)
+
+func normalize(b []byte) []byte {
+	return durationRE.ReplaceAll(b, []byte(`"duration_ms": 0`))
+}
+
+// TestRunJSONGolden: `lpmem run -json E16` must match the checked-in
+// golden envelope (modulo wall time). Regenerate with `go test
+// ./cmd/lpmem -run Golden -update` after a deliberate registry change.
+func TestRunJSONGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"run", "-json", "E16"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := normalize(out.Bytes())
+
+	golden := filepath.Join("testdata", "run_e16.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The output must also be structurally valid.
+	var envs []lpmem.ResultJSON
+	if err := json.Unmarshal(out.Bytes(), &envs); err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 || envs[0].ID != "E16" || len(envs[0].Rows) == 0 {
+		t.Fatalf("envelope: %+v", envs)
+	}
+}
+
+// TestRunTextOutput: the default text rendering keeps its table shape.
+func TestRunTextOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"run", "E16"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"=== E16:", "paper claim:", ">>> "} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("text output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunUnknownExperiment: unknown IDs exit 1 with a diagnostic.
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"run", "E99"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "E99") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
+// TestListAndUsage: `list` covers the registry; bad commands exit 2.
+func TestListAndUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if got := strings.Count(out.String(), "\n"); got != len(lpmem.Experiments()) {
+		t.Fatalf("list printed %d lines", got)
+	}
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("bogus command exit %d", code)
+	}
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("empty args exit %d", code)
+	}
+}

@@ -1,0 +1,76 @@
+// Command lpmemd serves the DATE'03 reproduction experiments over HTTP.
+// Results are computed on a bounded parallel worker pool, cached by
+// experiment ID + registry version, and exposed as JSON.
+//
+// Usage:
+//
+//	lpmemd [-addr :8093] [-parallel N] [-timeout 2m]
+//
+// Endpoints:
+//
+//	GET  /experiments        list the registry
+//	GET  /experiments/E7     run (or serve cached) one experiment
+//	POST /run?ids=E1,E7      run a batch in parallel ("all" = registry)
+//	GET  /metrics            engine + HTTP counters
+//	GET  /healthz            liveness probe
+//
+// The server drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lpmem"
+	"lpmem/internal/httpapi"
+	"lpmem/internal/runner"
+)
+
+func main() {
+	addr := flag.String("addr", ":8093", "listen address")
+	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-experiment deadline (0 = none)")
+	flag.Parse()
+
+	eng := lpmem.NewEngine(runner.Options{Workers: *parallel, Timeout: *timeout})
+	api := httpapi.New(eng)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lpmemd: serving %d experiments on %s (workers=%d, registry %s)\n",
+		len(lpmem.Experiments()), *addr, eng.Workers(), lpmem.RegistryVersion)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "lpmemd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "lpmemd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "lpmemd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	m := eng.Metrics()
+	fmt.Fprintf(os.Stderr, "lpmemd: done (executed=%d cache_hits=%d failures=%d)\n",
+		m.Executed, m.CacheHits, m.Failures)
+}

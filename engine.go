@@ -1,0 +1,107 @@
+package lpmem
+
+import (
+	"context"
+	"time"
+
+	"lpmem/internal/runner"
+)
+
+// RegistryVersion participates in every runner cache key, coupling cached
+// tables to the code that produced them. Bump it whenever an experiment
+// harness or one of its substrates changes behaviour, so a long-lived
+// lpmemd process can never serve stale results after a redeploy.
+const RegistryVersion = "2026-08-06.1"
+
+// Engine is the experiment-typed instantiation of the generic concurrent
+// runner: bounded worker pool, per-experiment timeouts and cancellation,
+// panic containment, content-keyed result cache, counter snapshot.
+type Engine = runner.Engine[*Result]
+
+// Metrics is the engine's counter snapshot (see runner.Metrics).
+type Metrics = runner.Metrics
+
+// NewEngine creates an experiment engine. Zero-valued options mean
+// GOMAXPROCS workers, no per-experiment timeout, caching enabled.
+func NewEngine(opts runner.Options) *Engine {
+	return runner.New[*Result](opts)
+}
+
+// CacheKey is the engine cache key for one experiment.
+func CacheKey(id string) string { return id + "@" + RegistryVersion }
+
+// Jobs adapts registry experiments to runner jobs. The experiments
+// themselves predate context plumbing, so cancellation is honoured at
+// job boundaries (and by the engine's deadline enforcement) rather than
+// inside a harness.
+func Jobs(exps []Experiment) []runner.Job[*Result] {
+	jobs := make([]runner.Job[*Result], len(exps))
+	for i, e := range exps {
+		e := e
+		jobs[i] = runner.Job[*Result]{
+			ID:  e.ID,
+			Key: CacheKey(e.ID),
+			Run: func(ctx context.Context) (*Result, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return e.Run()
+			},
+		}
+	}
+	return jobs
+}
+
+// Report pairs a registry entry with its run outcome.
+type Report struct {
+	Experiment Experiment
+	Outcome    runner.Outcome[*Result]
+}
+
+// RunBatch runs the experiments through the engine and returns one
+// report per experiment, in input order.
+func RunBatch(ctx context.Context, eng *Engine, exps []Experiment) []Report {
+	outs := eng.Run(ctx, Jobs(exps))
+	reports := make([]Report, len(exps))
+	for i := range exps {
+		reports[i] = Report{Experiment: exps[i], Outcome: outs[i]}
+	}
+	return reports
+}
+
+// ResultJSON is the structured envelope for one experiment run, shared
+// by `lpmem run -json` and lpmemd's HTTP responses.
+type ResultJSON struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	PaperClaim string     `json:"paper_claim"`
+	Summary    string     `json:"summary,omitempty"`
+	Header     []string   `json:"header,omitempty"`
+	Rows       [][]string `json:"rows,omitempty"`
+	DurationMS float64    `json:"duration_ms"`
+	Cached     bool       `json:"cached"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// JSON flattens a report into its wire envelope.
+func (r Report) JSON() ResultJSON {
+	j := ResultJSON{
+		ID:         r.Experiment.ID,
+		Title:      r.Experiment.Title,
+		PaperClaim: r.Experiment.PaperClaim,
+		DurationMS: float64(r.Outcome.Duration) / float64(time.Millisecond),
+		Cached:     r.Outcome.Cached,
+	}
+	if r.Outcome.Err != nil {
+		j.Error = r.Outcome.Err.Error()
+		return j
+	}
+	if res := r.Outcome.Value; res != nil {
+		j.Summary = res.Summary
+		if res.Table != nil {
+			j.Header = res.Table.Header()
+			j.Rows = res.Table.ToRows()
+		}
+	}
+	return j
+}

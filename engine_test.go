@@ -1,0 +1,119 @@
+package lpmem
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lpmem/internal/runner"
+)
+
+// TestJobsCacheKeys: every registry job carries a cache key that couples
+// the experiment ID to the registry version.
+func TestJobsCacheKeys(t *testing.T) {
+	jobs := Jobs(Experiments())
+	if len(jobs) != len(Experiments()) {
+		t.Fatalf("%d jobs for %d experiments", len(jobs), len(Experiments()))
+	}
+	for _, j := range jobs {
+		if j.Key != CacheKey(j.ID) || !strings.Contains(j.Key, RegistryVersion) {
+			t.Fatalf("job %s has key %q", j.ID, j.Key)
+		}
+	}
+}
+
+// TestRunBatchEnvelope: one real experiment through the engine produces
+// a complete JSON envelope, and a second run is a cache hit with the
+// identical table.
+func TestRunBatchEnvelope(t *testing.T) {
+	eng := NewEngine(runner.Options{Workers: 2})
+	exp, err := ByID("E16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := RunBatch(context.Background(), eng, []Experiment{exp})
+	if len(first) != 1 || first[0].Outcome.Err != nil {
+		t.Fatalf("run failed: %+v", first)
+	}
+	env := first[0].JSON()
+	if env.ID != "E16" || env.Title == "" || env.PaperClaim == "" {
+		t.Fatalf("envelope header incomplete: %+v", env)
+	}
+	if env.Summary == "" || len(env.Header) == 0 || len(env.Rows) == 0 {
+		t.Fatalf("envelope body incomplete: %+v", env)
+	}
+	if env.Cached || env.Error != "" {
+		t.Fatalf("first run must be fresh and clean: %+v", env)
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"E16"`, `"paper_claim"`, `"rows"`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("marshalled envelope missing %s: %s", want, b)
+		}
+	}
+
+	second := RunBatch(context.Background(), eng, []Experiment{exp})
+	if !second[0].Outcome.Cached {
+		t.Fatal("second run must be served from cache")
+	}
+	if second[0].Outcome.Value.Table.String() != first[0].Outcome.Value.Table.String() {
+		t.Fatal("cached table differs from the original")
+	}
+	m := eng.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 || m.Executed != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestResultMarshalJSON: a raw Result marshals with the table expanded
+// via stats.Table.MarshalJSON rather than as an opaque struct.
+func TestResultMarshalJSON(t *testing.T) {
+	exp, err := ByID("E16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"header"`) || !strings.Contains(string(b), `"rows"`) {
+		t.Fatalf("Result JSON missing table content: %.200s", b)
+	}
+}
+
+// TestParallelDeterminism runs the full registry twice through the
+// parallel runner (cache disabled) and asserts byte-identical rendered
+// tables per experiment. This guards the seeded-rand convention in
+// DESIGN.md against shared-state regressions now that experiments run
+// concurrently.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry x2 is heavy; skipped in -short mode")
+	}
+	eng := NewEngine(runner.Options{Workers: 4, NoCache: true})
+	snapshot := func() map[string]string {
+		out := make(map[string]string)
+		for _, r := range RunBatch(context.Background(), eng, Experiments()) {
+			if r.Outcome.Err != nil {
+				t.Fatalf("%s: %v", r.Experiment.ID, r.Outcome.Err)
+			}
+			out[r.Experiment.ID] = r.Outcome.Value.Table.String() + "\n" + r.Outcome.Value.Summary
+		}
+		return out
+	}
+	a := snapshot()
+	b := snapshot()
+	for id, tbl := range a {
+		if b[id] != tbl {
+			t.Errorf("%s: parallel runs disagree\nfirst:\n%s\nsecond:\n%s", id, tbl, b[id])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Example serve: the lpmemd HTTP API end to end in one process.
+//
+// It starts the same handler `cmd/lpmemd` serves on a loopback listener,
+// then walks the API the way a client would. Against a real daemon the
+// equivalent session is:
+//
+//	go run ./cmd/lpmemd -addr :8093 &
+//	curl -s localhost:8093/experiments | head
+//	curl -s localhost:8093/experiments/E16        # first call computes
+//	curl -s localhost:8093/experiments/E16        # second call is cached
+//	curl -s -X POST 'localhost:8093/run?ids=E12,E16'
+//	curl -s localhost:8093/metrics
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"lpmem"
+	"lpmem/internal/httpapi"
+	"lpmem/internal/runner"
+)
+
+func main() {
+	eng := lpmem.NewEngine(runner.Options{Timeout: 2 * time.Minute})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: httpapi.New(eng).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("lpmemd handler listening on %s (workers=%d)\n\n", base, eng.Workers())
+
+	show := func(label, method, path string) {
+		req, err := http.NewRequest(method, base+path, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		const max = 400
+		if len(body) > max {
+			body = append(body[:max], []byte("...\n")...)
+		}
+		fmt.Printf("## %s — %s %s (%s, %v)\n%s\n",
+			label, method, path, resp.Status, time.Since(start).Round(time.Millisecond), body)
+	}
+
+	show("registry listing", "GET", "/experiments")
+	show("run one experiment (computed)", "GET", "/experiments/E16")
+	show("run it again (cache hit)", "GET", "/experiments/E16")
+	show("parallel batch", "POST", "/run?ids=E12,E16")
+	show("metrics", "GET", "/metrics")
+}

@@ -1,0 +1,195 @@
+// Package httpapi implements the lpmemd HTTP surface over the concurrent
+// experiment engine: experiment listing, single-experiment runs (served
+// from the engine cache when warm), parallel batch runs, and a metrics
+// snapshot. Responses are JSON; only net/http from the standard library
+// is used.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lpmem"
+)
+
+// Server owns the engine and the registry snapshot it serves.
+type Server struct {
+	eng      *lpmem.Engine
+	exps     []lpmem.Experiment
+	byID     map[string]lpmem.Experiment
+	started  time.Time
+	requests atomic.Uint64
+}
+
+// New creates a server around an engine, serving the full registry.
+func New(eng *lpmem.Engine) *Server {
+	exps := lpmem.Experiments()
+	byID := make(map[string]lpmem.Experiment, len(exps))
+	for _, e := range exps {
+		byID[e.ID] = e
+	}
+	return &Server{eng: eng, exps: exps, byID: byID, started: time.Now()}
+}
+
+// Handler returns the route table:
+//
+//	GET  /experiments        registry listing
+//	GET  /experiments/{id}   run one experiment (cache-served when warm)
+//	POST /run?ids=E1,E7      parallel batch run ("all" or empty = registry)
+//	GET  /metrics            engine + HTTP counter snapshot
+//	GET  /healthz            liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /experiments", s.handleList)
+	mux.HandleFunc("GET /experiments/{id}", s.handleOne)
+	mux.HandleFunc("POST /run", s.handleBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s.count(mux)
+}
+
+// count wraps the mux with the request counter.
+func (s *Server) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// listEntry is the /experiments row: registry metadata without results.
+type listEntry struct {
+	ID         string `json:"id"`
+	Title      string `json:"title"`
+	PaperClaim string `json:"paper_claim"`
+	Cached     bool   `json:"cached"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := make([]listEntry, len(s.exps))
+	for i, e := range s.exps {
+		entries[i] = listEntry{
+			ID:         e.ID,
+			Title:      e.Title,
+			PaperClaim: e.PaperClaim,
+			Cached:     s.eng.Cached(lpmem.CacheKey(e.ID)),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"registry_version": lpmem.RegistryVersion,
+		"count":            len(entries),
+		"experiments":      entries,
+	})
+}
+
+func (s *Server) handleOne(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	exp, ok := s.byID[id]
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id))
+		return
+	}
+	reports := lpmem.RunBatch(r.Context(), s.eng, []lpmem.Experiment{exp})
+	env := reports[0].JSON()
+	status := http.StatusOK
+	if env.Error != "" {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, env)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	exps, err := s.resolve(r.URL.Query().Get("ids"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	reports := lpmem.RunBatch(r.Context(), s.eng, exps)
+	envs := make([]lpmem.ResultJSON, len(reports))
+	failed := 0
+	for i, rep := range reports {
+		envs[i] = rep.JSON()
+		if envs[i].Error != "" {
+			failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":      len(envs),
+		"failed":     failed,
+		"elapsed_ms": float64(time.Since(start)) / float64(time.Millisecond),
+		"results":    envs,
+	})
+}
+
+// resolve expands the ids query parameter ("", "all", or "E1,E7,...")
+// into registry entries, rejecting unknown IDs and deduplicating while
+// preserving request order.
+func (s *Server) resolve(ids string) ([]lpmem.Experiment, error) {
+	ids = strings.TrimSpace(ids)
+	if ids == "" || ids == "all" {
+		return s.exps, nil
+	}
+	var out []lpmem.Experiment
+	seen := map[string]bool{}
+	for _, raw := range strings.Split(ids, ",") {
+		id := strings.TrimSpace(raw)
+		if id == "" || seen[id] {
+			continue
+		}
+		exp, ok := s.byID[id]
+		if !ok {
+			known := make([]string, 0, len(s.byID))
+			for k := range s.byID {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(known, ","))
+		}
+		seen[id] = true
+		out = append(out, exp)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiment ids in %q", ids)
+	}
+	return out, nil
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	RegistryVersion string        `json:"registry_version"`
+	UptimeSeconds   float64       `json:"uptime_seconds"`
+	HTTPRequests    uint64        `json:"http_requests"`
+	Workers         int           `json:"workers"`
+	CacheEntries    int           `json:"cache_entries"`
+	Runner          lpmem.Metrics `json:"runner"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsSnapshot{
+		RegistryVersion: lpmem.RegistryVersion,
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		HTTPRequests:    s.requests.Load(),
+		Workers:         s.eng.Workers(),
+		CacheEntries:    s.eng.CacheLen(),
+		Runner:          s.eng.Metrics(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,187 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lpmem"
+	"lpmem/internal/runner"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *lpmem.Engine) {
+	t.Helper()
+	eng := lpmem.NewEngine(runner.Options{Workers: 2})
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func get(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("invalid JSON from %s: %v\n%s", url, err, body)
+	}
+	return resp.StatusCode
+}
+
+// TestListExperiments: /experiments returns the full registry with
+// metadata and a version stamp.
+func TestListExperiments(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var body struct {
+		RegistryVersion string `json:"registry_version"`
+		Count           int    `json:"count"`
+		Experiments     []struct {
+			ID         string `json:"id"`
+			Title      string `json:"title"`
+			PaperClaim string `json:"paper_claim"`
+			Cached     bool   `json:"cached"`
+		} `json:"experiments"`
+	}
+	if code := get(t, ts.URL+"/experiments", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.RegistryVersion != lpmem.RegistryVersion {
+		t.Fatalf("version %q", body.RegistryVersion)
+	}
+	if body.Count != len(lpmem.Experiments()) || len(body.Experiments) != body.Count {
+		t.Fatalf("count %d, rows %d", body.Count, len(body.Experiments))
+	}
+	for _, e := range body.Experiments {
+		if e.ID == "" || e.Title == "" || e.PaperClaim == "" {
+			t.Fatalf("incomplete row %+v", e)
+		}
+		if e.Cached {
+			t.Fatalf("%s reported cached on a cold engine", e.ID)
+		}
+	}
+}
+
+// TestRunOneAndCacheHit: /experiments/{id} runs the experiment; the
+// second request is served from cache and /metrics reflects the hit.
+func TestRunOneAndCacheHit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var first lpmem.ResultJSON
+	if code := get(t, ts.URL+"/experiments/E16", &first); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if first.ID != "E16" || first.Error != "" || len(first.Rows) == 0 || first.Cached {
+		t.Fatalf("first run envelope: %+v", first)
+	}
+	var second lpmem.ResultJSON
+	get(t, ts.URL+"/experiments/E16", &second)
+	if !second.Cached {
+		t.Fatal("second request must be a cache hit")
+	}
+	if len(second.Rows) != len(first.Rows) || second.Summary != first.Summary {
+		t.Fatal("cached envelope differs")
+	}
+
+	var m MetricsSnapshot
+	get(t, ts.URL+"/metrics", &m)
+	if m.Runner.CacheHits != 1 || m.Runner.CacheMisses != 1 || m.CacheEntries != 1 {
+		t.Fatalf("metrics after hit: %+v", m)
+	}
+	if m.HTTPRequests < 3 || m.Workers != 2 || m.RegistryVersion != lpmem.RegistryVersion {
+		t.Fatalf("snapshot fields: %+v", m)
+	}
+
+	// The listing now flags the warm entry.
+	var list struct {
+		Experiments []struct {
+			ID     string `json:"id"`
+			Cached bool   `json:"cached"`
+		} `json:"experiments"`
+	}
+	get(t, ts.URL+"/experiments", &list)
+	for _, e := range list.Experiments {
+		if e.ID == "E16" && !e.Cached {
+			t.Fatal("listing must mark E16 cached")
+		}
+	}
+}
+
+// TestRunUnknown: unknown IDs are 404s with a JSON error body.
+func TestRunUnknown(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var body map[string]string
+	if code := get(t, ts.URL+"/experiments/E99", &body); code != http.StatusNotFound {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body["error"], "E99") {
+		t.Fatalf("error body %v", body)
+	}
+}
+
+// TestBatchRun: POST /run executes the requested subset in parallel and
+// reports per-experiment envelopes.
+func TestBatchRun(t *testing.T) {
+	ts, eng := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/run?ids=E16,E12", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Count   int                `json:"count"`
+		Failed  int                `json:"failed"`
+		Results []lpmem.ResultJSON `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || body.Count != 2 || body.Failed != 0 {
+		t.Fatalf("batch response: status %d, %+v", resp.StatusCode, body)
+	}
+	if body.Results[0].ID != "E16" || body.Results[1].ID != "E12" {
+		t.Fatalf("order not preserved: %s, %s", body.Results[0].ID, body.Results[1].ID)
+	}
+	if eng.CacheLen() != 2 {
+		t.Fatalf("cache entries = %d", eng.CacheLen())
+	}
+
+	// Bad requests: unknown ID and empty list.
+	for _, q := range []string{"?ids=E16,NOPE", "?ids=,,"} {
+		resp, err := http.Post(ts.URL+"/run"+q, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestMethodRouting: the mux enforces methods per route.
+func TestMethodRouting(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/run?ids=E16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run: status %d", resp.StatusCode)
+	}
+	var hb map[string]string
+	if code := get(t, ts.URL+"/healthz", &hb); code != http.StatusOK || hb["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, hb)
+	}
+}

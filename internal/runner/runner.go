@@ -1,0 +1,313 @@
+// Package runner is the concurrent experiment-execution engine behind the
+// lpmem CLI, the lpmemd HTTP service and the benchmark harness. It runs a
+// batch of jobs on a bounded worker pool, enforces per-job deadlines,
+// converts panicking jobs into structured errors instead of killing the
+// batch, deduplicates and caches successful results by content key, and
+// keeps an expvar-style counter snapshot for observability.
+//
+// The engine is generic over the result type so it stays independent of
+// the experiment registry (the root lpmem package instantiates it with
+// *lpmem.Result and wires registry entries into Jobs).
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one unit of work. Key identifies the job's result content for
+// caching and in-flight deduplication: two jobs with the same non-empty
+// Key are assumed to produce the same value (the lpmem adapter couples
+// the experiment ID with the registry version). An empty Key opts the job
+// out of caching entirely.
+type Job[T any] struct {
+	ID  string
+	Key string
+	Run func(ctx context.Context) (T, error)
+}
+
+// Outcome is the result of one job: either a value or an error, plus how
+// long the job ran and whether it was served from the cache.
+type Outcome[T any] struct {
+	ID       string
+	Value    T
+	Err      error
+	Duration time.Duration
+	Cached   bool
+}
+
+// PanicError is the structured error a recovered job panic becomes.
+type PanicError struct {
+	ID    string
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %s panicked: %v", e.ID, e.Value)
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout is the per-job deadline; 0 means no deadline beyond the
+	// batch context. A job that overruns its deadline is abandoned (its
+	// goroutine finishes in the background and the late result is
+	// discarded) so one stuck experiment cannot wedge the batch.
+	Timeout time.Duration
+	// NoCache disables the result cache and in-flight deduplication;
+	// benchmarks and determinism tests use it to force re-execution.
+	NoCache bool
+}
+
+// Metrics is a point-in-time snapshot of the engine's counters, shaped
+// for direct JSON exposure on lpmemd's /metrics endpoint.
+type Metrics struct {
+	Submitted   uint64 `json:"submitted"`
+	Executed    uint64 `json:"executed"`
+	Successes   uint64 `json:"successes"`
+	Failures    uint64 `json:"failures"`
+	Panics      uint64 `json:"panics"`
+	Cancelled   uint64 `json:"cancelled"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// WallNanos sums per-job execution wall time, so under a parallel
+	// batch it exceeds elapsed time by roughly the achieved speedup.
+	WallNanos int64 `json:"wall_nanos"`
+}
+
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Engine runs batches of jobs. It is safe for concurrent use; overlapping
+// Run calls share the worker budget only in the sense that each call
+// spawns at most Options.Workers workers of its own, and they share the
+// cache and in-flight table so identical jobs never execute twice.
+type Engine[T any] struct {
+	opts Options
+
+	submitted, executed, successes, failures atomic.Uint64
+	panics, cancelled, hits, misses          atomic.Uint64
+	wall                                     atomic.Int64
+
+	mu       sync.Mutex
+	cache    map[string]T
+	inflight map[string]*flight[T]
+}
+
+// New creates an engine with the given options.
+func New[T any](opts Options) *Engine[T] {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine[T]{
+		opts:     opts,
+		cache:    make(map[string]T),
+		inflight: make(map[string]*flight[T]),
+	}
+}
+
+// Workers reports the resolved pool size.
+func (e *Engine[T]) Workers() int { return e.opts.Workers }
+
+// CacheLen reports how many results are currently cached.
+func (e *Engine[T]) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Cached reports whether a result for key is already in the cache.
+func (e *Engine[T]) Cached(key string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.cache[key]
+	return ok
+}
+
+// InvalidateCache drops every cached result.
+func (e *Engine[T]) InvalidateCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[string]T)
+}
+
+// Metrics returns a snapshot of the counters.
+func (e *Engine[T]) Metrics() Metrics {
+	return Metrics{
+		Submitted:   e.submitted.Load(),
+		Executed:    e.executed.Load(),
+		Successes:   e.successes.Load(),
+		Failures:    e.failures.Load(),
+		Panics:      e.panics.Load(),
+		Cancelled:   e.cancelled.Load(),
+		CacheHits:   e.hits.Load(),
+		CacheMisses: e.misses.Load(),
+		WallNanos:   e.wall.Load(),
+	}
+}
+
+// Run executes the batch on the pool and returns one outcome per job, in
+// input order. Cancelling ctx stops dispatch: running jobs are given the
+// cancelled context, and jobs not yet started are reported with the
+// context's error instead of executing.
+func (e *Engine[T]) Run(ctx context.Context, jobs []Job[T]) []Outcome[T] {
+	out := make([]Outcome[T], len(jobs))
+	workers := e.opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.runOne(ctx, jobs[i])
+			}
+		}()
+	}
+
+	next := len(jobs)
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			next = i
+		}
+		if next != len(jobs) {
+			break
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Jobs never handed to a worker surface the cancellation explicitly.
+	for i := next; i < len(jobs); i++ {
+		e.submitted.Add(1)
+		e.cancelled.Add(1)
+		out[i] = Outcome[T]{ID: jobs[i].ID, Err: ctx.Err()}
+	}
+	return out
+}
+
+// runOne executes (or serves from cache) a single job.
+func (e *Engine[T]) runOne(ctx context.Context, j Job[T]) Outcome[T] {
+	e.submitted.Add(1)
+	if err := ctx.Err(); err != nil {
+		e.cancelled.Add(1)
+		return Outcome[T]{ID: j.ID, Err: err}
+	}
+
+	useCache := !e.opts.NoCache && j.Key != ""
+	var fl *flight[T]
+	if useCache {
+		e.mu.Lock()
+		if v, ok := e.cache[j.Key]; ok {
+			e.mu.Unlock()
+			e.hits.Add(1)
+			e.successes.Add(1)
+			return Outcome[T]{ID: j.ID, Value: v, Cached: true}
+		}
+		if other, ok := e.inflight[j.Key]; ok {
+			e.mu.Unlock()
+			return e.join(ctx, j, other)
+		}
+		fl = &flight[T]{done: make(chan struct{})}
+		e.inflight[j.Key] = fl
+		e.mu.Unlock()
+		e.misses.Add(1)
+	}
+
+	jctx, cancel := ctx, context.CancelFunc(func() {})
+	if e.opts.Timeout > 0 {
+		jctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+	}
+	defer cancel()
+
+	start := time.Now()
+	v, err := e.invoke(jctx, j)
+	d := time.Since(start)
+	e.executed.Add(1)
+	e.wall.Add(int64(d))
+	if err != nil {
+		if jctx.Err() != nil && err == jctx.Err() {
+			e.cancelled.Add(1)
+		}
+		e.failures.Add(1)
+	} else {
+		e.successes.Add(1)
+	}
+
+	if fl != nil {
+		fl.val, fl.err = v, err
+		e.mu.Lock()
+		if err == nil {
+			e.cache[j.Key] = v
+		}
+		delete(e.inflight, j.Key)
+		e.mu.Unlock()
+		close(fl.done)
+	}
+	return Outcome[T]{ID: j.ID, Value: v, Err: err, Duration: d}
+}
+
+// join waits for an identical in-flight job instead of re-executing it.
+func (e *Engine[T]) join(ctx context.Context, j Job[T], fl *flight[T]) Outcome[T] {
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		e.cancelled.Add(1)
+		return Outcome[T]{ID: j.ID, Err: ctx.Err()}
+	}
+	if fl.err != nil {
+		e.failures.Add(1)
+		return Outcome[T]{ID: j.ID, Err: fl.err}
+	}
+	e.hits.Add(1)
+	e.successes.Add(1)
+	return Outcome[T]{ID: j.ID, Value: fl.val, Cached: true}
+}
+
+// invoke runs the job body with panic containment and deadline
+// enforcement. The job runs in its own goroutine so a deadline overrun
+// abandons it rather than blocking a pool worker forever.
+func (e *Engine[T]) invoke(ctx context.Context, j Job[T]) (T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.panics.Add(1)
+				var zero T
+				ch <- res{zero, &PanicError{ID: j.ID, Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		v, err := j.Run(ctx)
+		ch <- res{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}

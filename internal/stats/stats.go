@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -124,6 +125,30 @@ func (t *Table) AddRow(cells ...interface{}) {
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string {
+	return append([]string{}, t.header...)
+}
+
+// ToRows returns a copy of the formatted body rows, one slice of cells
+// per row, for programmatic consumers (JSON APIs, diffing, assertions).
+func (t *Table) ToRows() [][]string {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string{}, r...)
+	}
+	return rows
+}
+
+// MarshalJSON encodes the table as {"header": [...], "rows": [[...]]}.
+// Empty tables encode as empty arrays, never null.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Header(), t.ToRows()})
 }
 
 // String renders the table.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -112,5 +113,57 @@ func TestTableRendering(t *testing.T) {
 		if len(lines[i]) > len(lines[0])+2 {
 			t.Fatalf("misaligned row %d", i)
 		}
+	}
+}
+
+// TestTableToRows: ToRows/Header return formatted copies that do not
+// alias the table's internal state.
+func TestTableToRows(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("b", 42)
+	h := tb.Header()
+	rows := tb.ToRows()
+	if len(h) != 2 || h[0] != "name" || h[1] != "value" {
+		t.Fatalf("header = %v", h)
+	}
+	if len(rows) != 2 || rows[0][1] != "3.14" || rows[1][1] != "42" {
+		t.Fatalf("rows = %v", rows)
+	}
+	h[0] = "mutated"
+	rows[0][0] = "mutated"
+	if tb.Header()[0] != "name" || tb.ToRows()[0][0] != "alpha" {
+		t.Fatal("ToRows/Header must return copies")
+	}
+}
+
+// TestTableMarshalJSON: the JSON form round-trips header and rows, and
+// an empty table encodes as empty arrays rather than null.
+func TestTableMarshalJSON(t *testing.T) {
+	tb := NewTable("app", "saving%")
+	tb.AddRow("fir", 25.5)
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Header) != 2 || dec.Header[1] != "saving%" {
+		t.Fatalf("header = %v", dec.Header)
+	}
+	if len(dec.Rows) != 1 || dec.Rows[0][1] != "25.50" {
+		t.Fatalf("rows = %v", dec.Rows)
+	}
+	empty, err := json.Marshal(NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), "null") {
+		t.Fatalf("empty table must not encode null: %s", empty)
 	}
 }

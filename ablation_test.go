@@ -25,10 +25,16 @@ import (
 func BenchmarkAblationBankBudget(b *testing.B) {
 	k, _ := workloads.ByName("listchase")
 	res := workloads.MustRun(k.Build(1))
-	spec, _ := partition.SpecFromTrace(res.Trace, 64, res.Cycles)
+	spec, _, err := partition.SpecFromTrace(res.Trace, 64, res.Cycles)
+	if err != nil {
+		b.Fatal(err)
+	}
 	m := energy.DefaultMemoryModel()
 	for i := 0; i < b.N; i++ {
-		curve := partition.Tradeoff(spec, 12, m)
+		curve, err := partition.Tradeoff(spec, 12, m)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			tb := stats.NewTable("budget", "banks used", "energy")
 			for _, p := range curve {
@@ -51,7 +57,10 @@ func BenchmarkAblationClusterAffinity(b *testing.B) {
 		for _, w := range []float64{0, 0.05, 0.5, 5, 50} {
 			opt := core.DefaultOptions()
 			opt.Cluster.AffinityWeight = w
-			rep := core.Optimize(res.Trace, res.Cycles, opt)
+			rep, err := core.Optimize(res.Trace, res.Cycles, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
 			tb.AddRow(w, rep.SavingVsPartitioned())
 		}
 		if i == 0 {
@@ -70,7 +79,10 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 		for _, bs := range []uint32{32, 64, 128, 256} {
 			opt := core.DefaultOptions()
 			opt.BlockSize = bs
-			rep := core.Optimize(res.Trace, res.Cycles, opt)
+			rep, err := core.Optimize(res.Trace, res.Cycles, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
 			tb.AddRow(bs, rep.SavingVsPartitioned())
 		}
 		if i == 0 {
@@ -182,11 +194,26 @@ func BenchmarkAblationClusterVsIdentity(b *testing.B) {
 	m := energy.DefaultMemoryModel()
 	for i := 0; i < b.N; i++ {
 		data := res.Trace.Data()
-		id := cluster.IdentityBaseline(data, 64)
-		specA, _ := partition.SpecFromTrace(id.Remap(data), 64, res.Cycles)
-		_, eA := partition.Optimal(specA, 4, m)
-		specB, _ := partition.SpecFromTrace(data, 64, res.Cycles)
-		_, eB := partition.Optimal(specB, 4, m)
+		id, err := cluster.IdentityBaseline(data, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specA, _, err := partition.SpecFromTrace(id.Remap(data), 64, res.Cycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, eA, err := partition.Optimal(specA, 4, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specB, _, err := partition.SpecFromTrace(data, 64, res.Cycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, eB, err := partition.Optimal(specB, 4, m)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if eA != eB {
 			b.Fatalf("identity remap changed optimal energy: %v != %v", eA, eB)
 		}

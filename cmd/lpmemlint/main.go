@@ -1,0 +1,143 @@
+// Command lpmemlint runs the project-specific static analyzer suite
+// (internal/lint) over the module. It is the CI gate for the invariants
+// the compiler cannot check: determinism of model code, completeness of
+// the experiment registry, float-comparison hygiene, panic-free library
+// code, and error wrapping.
+//
+// Usage:
+//
+//	go run ./cmd/lpmemlint ./...
+//	go run ./cmd/lpmemlint -list
+//	go run ./cmd/lpmemlint -json -enable determinism,registry ./internal/... .
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+// or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lpmem/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("lpmemlint", flag.ContinueOnError)
+	var (
+		listFlag    = fs.Bool("list", false, "print available analyzers and exit")
+		jsonFlag    = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		enableFlag  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disableFlag = fs.String("disable", "", "comma-separated analyzers to skip")
+		verboseFlag = fs.Bool("v", false, "also report suppression counts and type-check noise")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: lpmemlint [flags] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Packages default to ./... relative to the module root.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *enableFlag != "" {
+		var err error
+		analyzers, err = lint.ByName(*enableFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if *disableFlag != "" {
+		skip, err := lint.ByName(*disableFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		skipped := make(map[string]bool)
+		for _, a := range skip {
+			skipped[a.Name] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if !skipped[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "lpmemlint: no analyzers selected")
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpmemlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpmemlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpmemlint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "lpmemlint: no packages matched", patterns)
+		return 2
+	}
+
+	res := lint.Run(pkgs, analyzers)
+
+	if *verboseFlag {
+		for _, p := range pkgs {
+			for _, te := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "lpmemlint: typecheck %s: %v\n", p.RelPath, te)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "lpmemlint: %d package(s), %d finding(s), %d suppressed by directives\n",
+			len(pkgs), len(res.Diagnostics), res.Suppressed)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if res.Diagnostics == nil {
+			res.Diagnostics = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(res.Diagnostics); err != nil {
+			fmt.Fprintln(os.Stderr, "lpmemlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package lpmem
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExperimentsAreDeterministic runs every registered experiment twice
+// and requires bit-identical output: same table header, same rendered
+// rows, same headline summary. This is the runtime counterpart of the
+// lpmemlint determinism analyzer — the analyzer proves no experiment
+// reads an unseeded entropy source, and this test proves the composed
+// pipelines actually reproduce the paper tables run-over-run.
+func TestExperimentsAreDeterministic(t *testing.T) {
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			first, err := exp.Run()
+			if err != nil {
+				t.Fatalf("%s first run: %v", exp.ID, err)
+			}
+			second, err := exp.Run()
+			if err != nil {
+				t.Fatalf("%s second run: %v", exp.ID, err)
+			}
+			if first.Summary != second.Summary {
+				t.Errorf("%s summary differs between runs:\n run 1: %s\n run 2: %s",
+					exp.ID, first.Summary, second.Summary)
+			}
+			if !reflect.DeepEqual(first.Table.Header(), second.Table.Header()) {
+				t.Errorf("%s table header differs between runs:\n run 1: %v\n run 2: %v",
+					exp.ID, first.Table.Header(), second.Table.Header())
+			}
+			r1, r2 := first.Table.ToRows(), second.Table.ToRows()
+			if len(r1) != len(r2) {
+				t.Fatalf("%s row count differs between runs: %d vs %d", exp.ID, len(r1), len(r2))
+			}
+			for i := range r1 {
+				if !reflect.DeepEqual(r1[i], r2[i]) {
+					t.Errorf("%s row %d differs between runs:\n run 1: %v\n run 2: %v",
+						exp.ID, i, r1[i], r2[i])
+				}
+			}
+		})
+	}
+}

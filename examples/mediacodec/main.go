@@ -51,7 +51,10 @@ func main() {
 	fmt.Printf("codec app: %d accesses over %d arrays\n\n", merged.Len(), len(regions))
 
 	// --- 1. Scratchpad banking with address clustering.
-	rep := core.Optimize(merged, cycles, core.DefaultOptions())
+	rep, err := core.Optimize(merged, cycles, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("scratchpad banking (1B.1):")
 	fmt.Printf("  monolithic %0.f -> partitioned %.0f -> clustered %.0f (%.1f%% vs partitioned)\n",
 		float64(rep.MonolithicE), float64(rep.PartitionedE), float64(rep.ClusteredE),

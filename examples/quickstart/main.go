@@ -25,7 +25,10 @@ func main() {
 		kernel.Name, res.Retired, res.Cycles, res.Trace.Len())
 
 	// 2. Optimize the data-memory architecture.
-	report := core.Optimize(res.Trace, res.Cycles, core.DefaultOptions())
+	report, err := core.Optimize(res.Trace, res.Cycles, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Read the results.
 	fmt.Printf("monolithic SRAM energy:     %10.0f\n", float64(report.MonolithicE))

@@ -32,8 +32,12 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := &http.Server{Handler: httpapi.New(eng).Handler()}
-	go srv.Serve(ln)
-	defer srv.Close()
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	defer func() { _ = srv.Close() }()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("lpmemd handler listening on %s (workers=%d)\n\n", base, eng.Workers())
 
@@ -48,7 +52,7 @@ func main() {
 			log.Fatal(err)
 		}
 		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		const max = 400
 		if len(body) > max {
 			body = append(body[:max], []byte("...\n")...)

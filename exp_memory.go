@@ -34,7 +34,10 @@ func runE1() (*Result, error) {
 	table := stats.NewTable("app", "monolithic", "partitioned", "clustered", "vs-part %", "vs-mono %")
 	var savings, appSavings []float64
 	for _, app := range apps {
-		rep := core.Optimize(app.trace, app.cycles, opt)
+		rep, err := core.Optimize(app.trace, app.cycles, opt)
+		if err != nil {
+			return nil, err
+		}
 		s := rep.SavingVsPartitioned()
 		savings = append(savings, s)
 		// The paper evaluates full embedded applications; the composite

@@ -183,6 +183,7 @@ func New(cfg Config, backing Backing) (*Cache, error) {
 func MustNew(cfg Config, backing Backing) *Cache {
 	c, err := New(cfg, backing)
 	if err != nil {
+		//lint:allow panicfree Must* helper; panicking on a bad static config is the documented contract
 		panic(err)
 	}
 	return c

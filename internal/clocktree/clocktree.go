@@ -194,9 +194,11 @@ func buildGeo(sinks []Sink, idx []int) *Node {
 	sorted := append([]int(nil), idx...)
 	sort.Slice(sorted, func(a, b int) bool {
 		if byX {
+			//lint:allow floatcompare exact tie-break keeps the sort order deterministic
 			if sinks[sorted[a]].X != sinks[sorted[b]].X {
 				return sinks[sorted[a]].X < sinks[sorted[b]].X
 			}
+			//lint:allow floatcompare exact tie-break keeps the sort order deterministic
 		} else if sinks[sorted[a]].Y != sinks[sorted[b]].Y {
 			return sinks[sorted[a]].Y < sinks[sorted[b]].Y
 		}
@@ -265,6 +267,7 @@ func BuildCritical(sinks []Sink, pairs []CritPair) (*Tree, error) {
 				ix, iy := nodePos(clusters[i].node, sinks)
 				jx, jy := nodePos(clusters[j].node, sinks)
 				d := wireLen(ix, iy, jx, jy)
+				//lint:allow floatcompare exact equality only breaks argmax ties; any ulp wobble still picks a maximal pair
 				if w > bestW || (w == bestW && d < bestD) {
 					bi, bj, bestW, bestD = i, j, w, d
 				}

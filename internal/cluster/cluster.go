@@ -68,10 +68,12 @@ func DefaultConfig() Config {
 	return Config{BlockSize: 256, AffinityWeight: 0.05, Window: 2}
 }
 
-// Cluster computes a clustering of the data accesses of t.
-func Cluster(t *trace.Trace, cfg Config) *Clustering {
+// Cluster computes a clustering of the data accesses of t. A block size
+// that is not a power of two is reported as an error so callers driven
+// by external configuration can recover.
+func Cluster(t *trace.Trace, cfg Config) (*Clustering, error) {
 	if cfg.BlockSize == 0 || cfg.BlockSize&(cfg.BlockSize-1) != 0 {
-		panic(fmt.Sprintf("cluster: block size %d is not a power of two", cfg.BlockSize))
+		return nil, fmt.Errorf("cluster: block size %d is not a power of two", cfg.BlockSize)
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 2
@@ -153,7 +155,7 @@ func Cluster(t *trace.Trace, cfg Config) *Clustering {
 	for i, b := range placed {
 		c.NewIndex[b] = i
 	}
-	return c
+	return c, nil
 }
 
 func pairKey(a, b uint32) [2]uint32 {
@@ -195,9 +197,9 @@ func (c *Clustering) Remap(t *trace.Trace) *trace.Trace {
 // trace: blocks in ascending address order, exactly what the linker would
 // produce without clustering hardware. Comparing Optimal(baseline) with
 // Optimal(clustered) isolates the clustering benefit.
-func IdentityBaseline(t *trace.Trace, blockSize uint32) *Clustering {
+func IdentityBaseline(t *trace.Trace, blockSize uint32) (*Clustering, error) {
 	if blockSize == 0 || blockSize&(blockSize-1) != 0 {
-		panic(fmt.Sprintf("cluster: block size %d is not a power of two", blockSize))
+		return nil, fmt.Errorf("cluster: block size %d is not a power of two", blockSize)
 	}
 	mask := ^(blockSize - 1)
 	seen := make(map[uint32]bool)
@@ -217,5 +219,5 @@ func IdentityBaseline(t *trace.Trace, blockSize uint32) *Clustering {
 	for i, b := range order {
 		c.NewIndex[b] = i
 	}
-	return c
+	return c, nil
 }

@@ -16,13 +16,10 @@ func mkTrace(addrs ...uint32) *trace.Trace {
 	return t
 }
 
-func TestClusterPanicsOnBadBlockSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
-		}
-	}()
-	Cluster(mkTrace(0), Config{BlockSize: 100})
+func TestClusterErrorsOnBadBlockSize(t *testing.T) {
+	if _, err := Cluster(mkTrace(0), Config{BlockSize: 100}); err == nil {
+		t.Fatal("want error")
+	}
 }
 
 // TestHotBlocksComeFirst: frequency-dominant ordering must place the
@@ -37,7 +34,10 @@ func TestHotBlocksComeFirst(t *testing.T) {
 		addrs = append(addrs, 0x1000)
 	}
 	addrs = append(addrs, 0x8000)
-	c := Cluster(mkTrace(addrs...), Config{BlockSize: 256, Window: 2})
+	c, err := Cluster(mkTrace(addrs...), Config{BlockSize: 256, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Order[0] != 0x4000 || c.Order[1] != 0x1000 || c.Order[2] != 0x8000 {
 		t.Fatalf("order = %v", c.Order)
 	}
@@ -53,7 +53,10 @@ func TestMapAddrIsInjectiveOnProfiledBlocks(t *testing.T) {
 			addrs = append(addrs, uint32(r.Intn(1<<16))&^3)
 		}
 		tr := mkTrace(addrs...)
-		c := Cluster(tr, DefaultConfig())
+		c, err := Cluster(tr, DefaultConfig())
+		if err != nil {
+			return false
+		}
 		seen := make(map[uint32]uint32)
 		for _, a := range addrs {
 			m := c.MapAddr(a)
@@ -72,7 +75,10 @@ func TestMapAddrIsInjectiveOnProfiledBlocks(t *testing.T) {
 // TestMapAddrPreservesOffsets: intra-block offsets survive the remap.
 func TestMapAddrPreservesOffsets(t *testing.T) {
 	tr := mkTrace(0x1234, 0x1238, 0x5000)
-	c := Cluster(tr, Config{BlockSize: 64, Window: 1})
+	c, err := Cluster(tr, Config{BlockSize: 64, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.MapAddr(0x1238)-c.MapAddr(0x1234) != 4 {
 		t.Fatal("offsets within a block must be preserved")
 	}
@@ -83,7 +89,10 @@ func TestRemapKeepsFetchesUntouched(t *testing.T) {
 	tr := trace.New(2)
 	tr.Append(trace.Access{Addr: 0x9999, Kind: trace.Fetch, Width: 4})
 	tr.Append(trace.Access{Addr: 0x4000, Kind: trace.Read, Width: 4})
-	c := Cluster(tr, DefaultConfig())
+	c, err := Cluster(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := c.Remap(tr)
 	if out.Accesses[0].Addr != 0x9999 {
 		t.Fatal("fetch address must not be remapped")
@@ -94,7 +103,10 @@ func TestRemapKeepsFetchesUntouched(t *testing.T) {
 // original order at consecutive indices.
 func TestIdentityBaselineIsSortedCompact(t *testing.T) {
 	tr := mkTrace(0x8000, 0x1000, 0x8000, 0x4000)
-	base := IdentityBaseline(tr, 256)
+	base, err := IdentityBaseline(tr, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(base.Order) != 3 {
 		t.Fatalf("order = %v", base.Order)
 	}
@@ -115,7 +127,10 @@ func TestClusteredProfileMassPreserved(t *testing.T) {
 		addrs = append(addrs, uint32(r.Intn(1<<14))&^3)
 	}
 	tr := mkTrace(addrs...)
-	c := Cluster(tr, DefaultConfig())
+	c, err := Cluster(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := c.Remap(tr)
 	if out.Len() != tr.Len() {
 		t.Fatal("length changed")
@@ -152,7 +167,10 @@ func TestAffinityPullsPartnersTogether(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		addrs = append(addrs, 0x4000, 0x4000) // C bursts alone
 	}
-	c := Cluster(mkTrace(addrs...), Config{BlockSize: 256, AffinityWeight: 10, Window: 1})
+	c, err := Cluster(mkTrace(addrs...), Config{BlockSize: 256, AffinityWeight: 10, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	posA := c.NewIndex[0x1000]
 	posB := c.NewIndex[0x8000]
 	if d := posA - posB; d != 1 && d != -1 {
@@ -160,11 +178,8 @@ func TestAffinityPullsPartnersTogether(t *testing.T) {
 	}
 }
 
-func TestIdentityBaselinePanicsOnBadBlockSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
-		}
-	}()
-	IdentityBaseline(mkTrace(0), 3)
+func TestIdentityBaselineErrorsOnBadBlockSize(t *testing.T) {
+	if _, err := IdentityBaseline(mkTrace(0), 3); err == nil {
+		t.Fatal("want error")
+	}
 }

@@ -50,6 +50,7 @@ const (
 // [payload bytes...].
 func (Differential) Compress(line []byte) []byte {
 	if len(line) < 4 || len(line)%4 != 0 {
+		//lint:allow panicfree line length is fixed by the cache geometry in code, never by runtime input
 		panic(fmt.Sprintf("compress: line length %d is not a positive multiple of 4", len(line)))
 	}
 	words := len(line) / 4

@@ -87,8 +87,11 @@ func (r *Report) String() string {
 }
 
 // Optimize runs the full flow on the data accesses of t. cycles is the
-// execution length of the run (for leakage).
-func Optimize(t *trace.Trace, cycles uint64, opt Options) *Report {
+// execution length of the run (for leakage). Invalid options (a block
+// size that is not a power of two, a bank budget below 1) are reported
+// as errors rather than panics, so services driving the flow from
+// external configuration fail one request instead of the process.
+func Optimize(t *trace.Trace, cycles uint64, opt Options) (*Report, error) {
 	if opt.BlockSize == 0 {
 		opt = DefaultOptions()
 	}
@@ -96,18 +99,36 @@ func Optimize(t *trace.Trace, cycles uint64, opt Options) *Report {
 	data := t.Data()
 
 	// Baseline image: compacted, address order (what the linker gives).
-	base := cluster.IdentityBaseline(data, opt.BlockSize)
+	base, err := cluster.IdentityBaseline(data, opt.BlockSize)
+	if err != nil {
+		return nil, err
+	}
 	baseTrace := base.Remap(data)
-	baseSpec, _ := partition.SpecFromTrace(baseTrace, opt.BlockSize, cycles)
+	baseSpec, _, err := partition.SpecFromTrace(baseTrace, opt.BlockSize, cycles)
+	if err != nil {
+		return nil, err
+	}
 
 	monoE := partition.Energy(baseSpec, partition.Monolithic(baseSpec), opt.Model)
-	basePart, baseE := partition.Optimal(baseSpec, opt.MaxBanks, opt.Model)
+	basePart, baseE, err := partition.Optimal(baseSpec, opt.MaxBanks, opt.Model)
+	if err != nil {
+		return nil, err
+	}
 
 	// Clustered image.
-	cl := cluster.Cluster(data, opt.Cluster)
+	cl, err := cluster.Cluster(data, opt.Cluster)
+	if err != nil {
+		return nil, err
+	}
 	clTrace := cl.Remap(data)
-	clSpec, _ := partition.SpecFromTrace(clTrace, opt.BlockSize, cycles)
-	clPart, clE := partition.Optimal(clSpec, opt.MaxBanks, opt.Model)
+	clSpec, _, err := partition.SpecFromTrace(clTrace, opt.BlockSize, cycles)
+	if err != nil {
+		return nil, err
+	}
+	clPart, clE, err := partition.Optimal(clSpec, opt.MaxBanks, opt.Model)
+	if err != nil {
+		return nil, err
+	}
 	clE += opt.RemapEnergy * energy.PJ(clSpec.TotalAccesses())
 
 	return &Report{
@@ -117,5 +138,5 @@ func Optimize(t *trace.Trace, cycles uint64, opt Options) *Report {
 		BasePartition:      basePart,
 		ClusteredPartition: clPart,
 		Clustering:         cl,
-	}
+	}, nil
 }

@@ -27,7 +27,10 @@ func TestOptimizeOnSyntheticHotCold(t *testing.T) {
 		})
 	}
 	tr := trace.Synthesize(trace.SynthConfig{Seed: 1, N: 50_000, Regions: regions, WriteFraction: 0.3})
-	rep := Optimize(tr, 100_000, DefaultOptions())
+	rep, err := Optimize(tr, 100_000, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if rep.PartitionedE >= rep.MonolithicE {
 		t.Errorf("partitioning should beat monolithic: part=%v mono=%v", rep.PartitionedE, rep.MonolithicE)
@@ -46,7 +49,10 @@ func TestOptimizeOnKernels(t *testing.T) {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
 			res := workloads.MustRun(k.Build(1))
-			rep := Optimize(res.Trace, res.Cycles, DefaultOptions())
+			rep, err := Optimize(res.Trace, res.Cycles, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
 			if rep.MonolithicE <= 0 || rep.PartitionedE <= 0 || rep.ClusteredE <= 0 {
 				t.Fatalf("non-positive energy: %+v", rep)
 			}

@@ -33,7 +33,10 @@ func TestCompositeAppTuning(t *testing.T) {
 		for _, banks := range []int{2, 4, 8} {
 			opt := DefaultOptions()
 			opt.MaxBanks = banks
-			rep := Optimize(merged, cycles, opt)
+			rep, err := Optimize(merged, cycles, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
 			t.Logf("%-6s banks=%d mono=%10.0f part=%10.0f clust=%10.0f saving=%6.2f%% vsmono=%6.2f%%",
 				name, banks, float64(rep.MonolithicE), float64(rep.PartitionedE),
 				float64(rep.ClusteredE), rep.SavingVsPartitioned(), rep.SavingVsMonolithic())

@@ -211,6 +211,7 @@ func (g *Graph) Makespan(mapping []int, procs int, stretch []float64, sc Scenari
 			if !ready {
 				continue
 			}
+			//lint:allow floatcompare exact equality only breaks argmax ties deterministically by index
 			if best < 0 || prio[i] > prio[best] || (prio[i] == prio[best] && i < best) {
 				best = i
 			}
@@ -322,6 +323,7 @@ func (g *Graph) dvsBounded(mapping []int, procs int, maxRounds int) ([]float64, 
 		sort.Slice(idx, func(a, b int) bool {
 			ea := g.Tasks[idx[a]].Power * g.Tasks[idx[a]].WCET / (stretch[idx[a]] * stretch[idx[a]])
 			eb := g.Tasks[idx[b]].Power * g.Tasks[idx[b]].WCET / (stretch[idx[b]] * stretch[idx[b]])
+			//lint:allow floatcompare exact tie-break keeps the sort order deterministic
 			if ea != eb {
 				return ea > eb
 			}

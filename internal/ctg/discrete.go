@@ -79,10 +79,10 @@ func (g *Graph) DVSDiscrete(mapping []int, procs int, levels []float64) ([]float
 
 // nextLevel returns the smallest menu level strictly above s (or s).
 func nextLevel(s float64, levels []float64) float64 {
-	best := s
+	best, found := s, false
 	for _, l := range levels {
-		if l > s && (best == s || l < best) {
-			best = l
+		if l > s && (!found || l < best) {
+			best, found = l, true
 		}
 	}
 	return best

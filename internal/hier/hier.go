@@ -189,6 +189,7 @@ func Assign(infos []ArrayInfo, layers []Layer, useLifetime bool) (Assignment, er
 	sort.Slice(order, func(i, j int) bool {
 		di := float64(order[i].Accesses()) / float64(order[i].Size)
 		dj := float64(order[j].Accesses()) / float64(order[j].Size)
+		//lint:allow floatcompare exact tie-break keeps the sort order deterministic
 		if di != dj {
 			return di > dj
 		}

@@ -36,6 +36,7 @@ func NewBuilder() *Builder {
 // in a hand-written kernel.
 func (b *Builder) Label(name string) {
 	if _, dup := b.labels[name]; dup {
+		//lint:allow panicfree duplicate label in a hand-written kernel is a programming error, per the doc comment
 		panic(fmt.Sprintf("isa: duplicate label %q", name))
 	}
 	b.labels[name] = len(b.instrs)
@@ -238,6 +239,7 @@ func (b *Builder) Assemble() (*Program, error) {
 func (b *Builder) MustAssemble() *Program {
 	p, err := b.Assemble()
 	if err != nil {
+		//lint:allow panicfree Must* helper; panicking on a broken hand-written kernel is the documented contract
 		panic(err)
 	}
 	return p

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinismAllowlist names package paths (relative to the module root)
+// where wall-clock time, environment reads, and process-global randomness
+// are part of the job: the concurrent runner measures durations, the HTTP
+// service timestamps responses, and binaries parse their environment.
+// Everything else — the model packages and the experiment registry — must
+// be bit-reproducible from explicit seeds.
+var determinismAllowlist = []string{
+	"internal/runner",
+	"internal/httpapi",
+	"cmd/",
+	"examples/",
+}
+
+// nondeterministic maps import path -> package-level functions whose use
+// makes an experiment irreproducible. Seeded sources (rand.New with
+// rand.NewSource) are fine and deliberately absent.
+var nondeterministic = map[string]map[string]string{
+	"math/rand": {
+		"Int": "", "Intn": "", "Int31": "", "Int31n": "", "Int63": "", "Int63n": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "",
+		"Read": "", "Seed": "",
+	},
+	"math/rand/v2": {
+		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "", "Int64N": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "", "N": "",
+	},
+	"time": {
+		"Now": "wall-clock read", "Since": "wall-clock read", "Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv": "environment read", "LookupEnv": "environment read",
+		"Environ": "environment read",
+	},
+	"crypto/rand": {
+		"Read": "hardware entropy", "Int": "hardware entropy", "Prime": "hardware entropy",
+	},
+}
+
+// AnalyzerDeterminism flags sources of run-to-run nondeterminism in model
+// code: unseeded package-global math/rand, wall-clock reads, and
+// environment lookups. Infrastructure packages on the allowlist are
+// exempt wholesale; individual sites elsewhere can carry a
+// //lint:allow determinism directive.
+func AnalyzerDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "flags unseeded math/rand, time.Now and os.Getenv in model packages",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(pkg *Package, rep *Reporter) {
+	for _, prefix := range determinismAllowlist {
+		rel := pkg.RelPath
+		if rel == strings.TrimSuffix(prefix, "/") || strings.HasPrefix(rel+"/", prefix) {
+			return
+		}
+	}
+	for _, f := range pkg.Files {
+		// Map the file's import names to import paths so selector
+		// expressions resolve without depending on type information.
+		imports := make(map[string]string)
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			name := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			imports[name] = path
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path, ok := imports[id.Name]
+			if !ok {
+				return true
+			}
+			funcs, ok := nondeterministic[path]
+			if !ok {
+				return true
+			}
+			why, ok := funcs[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			// When type information resolved the identifier, require it
+			// to actually be the package (not a local shadow).
+			if pkg.Info != nil {
+				if obj := pkg.Info.Uses[id]; obj != nil {
+					if _, isPkg := obj.(*types.PkgName); !isPkg {
+						return true
+					}
+				}
+			}
+			if why == "" {
+				why = "process-global randomness; use rand.New(rand.NewSource(seed))"
+			}
+			rep.Reportf(sel.Pos(), "nondeterministic call %s.%s in model package (%s)",
+				id.Name, sel.Sel.Name, why)
+			return true
+		})
+	}
+}

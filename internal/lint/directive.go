@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+const directivePrefix = "//lint:allow"
+
+// collectDirectives scans every comment in the package for //lint:allow
+// directives. A directive suppresses findings of the named analyzer on
+// its own line and on the line directly below it (so it can sit either
+// at the end of the offending line or on the line above). Malformed
+// directives — a missing analyzer name or a missing reason — are
+// reported as findings themselves under the "directive" name.
+func (p *Package) collectDirectives() {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					p.badDiags = append(p.badDiags, Diagnostic{
+						Analyzer: "directive",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				p.directives = append(p.directives, directive{
+					analyzer: name,
+					reason:   reason,
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+}
+
+// allowed reports whether a finding of the given analyzer at pos is
+// covered by a directive.
+func (p *Package) allowed(analyzer string, pos token.Position) bool {
+	for _, d := range p.directives {
+		if d.analyzer != analyzer || d.file != pos.Filename {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveDiags returns findings about malformed directives.
+func (p *Package) directiveDiags() []Diagnostic {
+	return p.badDiags
+}

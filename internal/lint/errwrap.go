@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerErrwrap enforces two error-hygiene rules. First, fmt.Errorf
+// calls that embed an error value must use %w, so callers can unwrap
+// with errors.Is/As — flattening with %v severs the chain the runner and
+// HTTP layer rely on to classify failures. Second, calls whose only
+// results are errors must not be used as bare statements: a silently
+// dropped error is how a cache write or an HTTP shutdown failure
+// disappears. Explicitly assigning to _ is accepted as a documented
+// discard. The fmt print family and writes into in-memory buffers
+// (strings.Builder, bytes.Buffer) are exempt — their errors are
+// definitionally nil or conventionally ignored.
+func AnalyzerErrwrap() *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc:  "flags discarded errors and fmt.Errorf with error args lacking %w",
+		Run:  runErrwrap,
+	}
+}
+
+func runErrwrap(pkg *Package, rep *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pkg, rep, v)
+			case *ast.ExprStmt:
+				if call, ok := v.X.(*ast.CallExpr); ok {
+					checkDiscard(pkg, rep, call)
+				}
+			case *ast.GoStmt:
+				// go f() discards f's error just as silently.
+				checkDiscard(pkg, rep, v.Call)
+			case *ast.DeferStmt:
+				checkDiscard(pkg, rep, v.Call)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf flags fmt.Errorf("... %v ...", err) style calls.
+func checkErrorf(pkg *Package, rep *Reporter, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || obj.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringConst(pkg, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pkg, arg) {
+			rep.Reportf(call.Pos(), "fmt.Errorf embeds error %s without %%w; callers cannot errors.Is/As through it",
+				exprString(arg))
+			return
+		}
+	}
+}
+
+// checkDiscard flags statement-position calls that return an error.
+func checkDiscard(pkg *Package, rep *Reporter, call *ast.CallExpr) {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !returnsError(tv.Type) {
+		return
+	}
+	if isDiscardExempt(pkg, call) {
+		return
+	}
+	rep.Reportf(call.Pos(), "result of %s includes an error that is silently discarded; handle it or assign to _",
+		exprString(call.Fun))
+}
+
+func returnsError(t types.Type) bool {
+	switch v := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < v.Len(); i++ {
+			if isErrorTypeT(v.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isErrorTypeT(t)
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorTypeT(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+func isErrorType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && isErrorTypeT(tv.Type)
+}
+
+// isDiscardExempt reports conventional ignore-the-error calls: the fmt
+// print family and writes into in-memory sinks.
+func isDiscardExempt(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print*, fmt.Fprint* — terminal/StdX printing by convention.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pkg.Info.Uses[id].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+			return strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")
+		}
+	}
+	// Method calls on in-memory sinks that document err == nil always.
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				full := obj.Pkg().Path() + "." + obj.Name()
+				switch full {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func stringConst(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return constant.StringVal(tv.Value), true
+	}
+	return s, true
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatCompare flags == and != between floating-point operands.
+// The energy models accumulate picojoules as float64; after any
+// arithmetic, exact equality is a latent bug — two mathematically equal
+// energies can differ in the last ulp and silently flip a comparison.
+// Comparisons against an exact zero literal are permitted: zero is a
+// well-defined sentinel ("no traffic", "no energy") that survives
+// arithmetic identity, and the codebase uses it as a guard before
+// division. Anything else needs an epsilon or a //lint:allow
+// floatcompare directive.
+func AnalyzerFloatCompare() *Analyzer {
+	return &Analyzer{
+		Name: "floatcompare",
+		Doc:  "flags ==/!= between floating-point expressions (exact-zero guards exempt)",
+		Run:  runFloatCompare,
+	}
+}
+
+func runFloatCompare(pkg *Package, rep *Reporter) {
+	if pkg.Info == nil {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg, be.X) && !isFloat(pkg, be.Y) {
+				return true
+			}
+			if isZeroConst(pkg, be.X) || isZeroConst(pkg, be.Y) {
+				return true
+			}
+			// Comparing two constants is exact by definition.
+			if isConst(pkg, be.X) && isConst(pkg, be.Y) {
+				return true
+			}
+			rep.Reportf(be.Pos(), "floating-point %s comparison (%s); use an epsilon or math.Abs",
+				be.Op, exprString(be))
+			return true
+		})
+	}
+}
+
+func isFloat(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isZeroConst(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

@@ -1,0 +1,171 @@
+// Package lint is lpmem's project-specific static analyzer suite. The
+// experiments in this repository regenerate published DATE'03 numbers, so
+// the codebase carries invariants the Go compiler cannot see: model code
+// must be deterministic, the experiment registry must stay complete and
+// well-formed, energy arithmetic must not compare floats exactly, library
+// code must not panic on recoverable conditions, and errors must be
+// wrapped rather than flattened. Each invariant is one Analyzer; the
+// driver in cmd/lpmemlint runs them over the module and gates CI.
+//
+// The suite is stdlib-only (go/parser, go/ast, go/types, go/importer):
+// no vendored analysis framework, no external dependencies.
+//
+// A finding can be suppressed at the offending line — or the line above
+// it — with a directive comment carrying a mandatory reason:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Directives without a reason are themselves reported, so every
+// suppression is a documented decision rather than a silent escape.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a loaded package.
+type Analyzer struct {
+	// Name is the identifier used in -enable/-disable flags and in
+	// //lint:allow directives.
+	Name string
+	// Doc is a one-line description shown by lpmemlint -list.
+	Doc string
+	// Run inspects pkg and reports findings through rep.
+	Run func(pkg *Package, rep *Reporter)
+}
+
+// All returns the full analyzer suite in stable (alphabetical) order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDeterminism(),
+		AnalyzerErrwrap(),
+		AnalyzerFloatCompare(),
+		AnalyzerPanicFree(),
+		AnalyzerRegistry(),
+	}
+}
+
+// ByName resolves a comma-separated analyzer list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Reporter collects diagnostics for one analyzer over one package,
+// honouring //lint:allow suppressions.
+type Reporter struct {
+	analyzer   string
+	pkg        *Package
+	diags      []Diagnostic
+	suppressed int
+}
+
+// Reportf records a finding at pos unless an allow directive covers it.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p := r.pkg.Fset.Position(pos)
+	if r.pkg.allowed(r.analyzer, p) {
+		r.suppressed++
+		return
+	}
+	r.diags = append(r.diags, Diagnostic{
+		Analyzer: r.analyzer,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is the outcome of running a set of analyzers over packages.
+type Result struct {
+	// Diagnostics holds every surviving finding, sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by //lint:allow directives.
+	Suppressed int
+}
+
+// Run executes the given analyzers over the given packages.
+func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			rep := &Reporter{analyzer: a.Name, pkg: pkg}
+			a.Run(pkg, rep)
+			res.Diagnostics = append(res.Diagnostics, rep.diags...)
+			res.Suppressed += rep.suppressed
+		}
+		res.Diagnostics = append(res.Diagnostics, pkg.directiveDiags()...)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+// exprString renders a small expression for diagnostics (best effort).
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.BinaryExpr:
+		return exprString(v.X) + " " + v.Op.String() + " " + exprString(v.Y)
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprString(v.X)
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "expr"
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// loadFixture loads one testdata/src package through the real loader.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", name, len(pkgs))
+	}
+	// The registry fixture deliberately registers an undeclared Run
+	// function — a state that cannot compile, which is precisely when the
+	// (syntactic) registry analyzer still has to work. Every other
+	// fixture must type-check cleanly.
+	if name != "registry" && len(pkgs[0].TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkgs[0].TypeErrors)
+	}
+	return pkgs[0]
+}
+
+// render formats diagnostics with file paths reduced to base names, the
+// stable form stored in the golden files.
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.Base(d.File), d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	return b.String()
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test ./internal/lint -run %s -update` to create): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// fixtureAnalyzer maps each golden-file test to its analyzer.
+var fixtureAnalyzers = map[string]func() *Analyzer{
+	"determinism":  AnalyzerDeterminism,
+	"registry":     AnalyzerRegistry,
+	"floatcompare": AnalyzerFloatCompare,
+	"panicfree":    AnalyzerPanicFree,
+	"errwrap":      AnalyzerErrwrap,
+}
+
+// TestGolden runs every analyzer over its seeded fixture package and
+// compares the findings against the stored golden file. Each fixture
+// contains deliberate violations, so an analyzer that reports nothing is
+// itself a failure: the suite must fail on seeded bugs.
+func TestGolden(t *testing.T) {
+	for name, mk := range fixtureAnalyzers {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixture(t, name)
+			res := Run([]*Package{pkg}, []*Analyzer{mk()})
+			if len(res.Diagnostics) == 0 {
+				t.Fatalf("analyzer %s found nothing in its seeded fixture", name)
+			}
+			if res.Suppressed == 0 {
+				t.Errorf("fixture %s should exercise at least one //lint:allow suppression", name)
+			}
+			checkGolden(t, name, render(res.Diagnostics))
+		})
+	}
+}
+
+// TestMalformedDirectives: directives without an analyzer name or reason
+// are findings regardless of which analyzers run.
+func TestMalformedDirectives(t *testing.T) {
+	pkg := loadFixture(t, "directive")
+	res := Run([]*Package{pkg}, []*Analyzer{AnalyzerPanicFree()})
+	got := render(res.Diagnostics)
+	checkGolden(t, "directive", got)
+	if n := len(res.Diagnostics); n != 2 {
+		t.Fatalf("want 2 malformed-directive findings, got %d:\n%s", n, got)
+	}
+}
+
+// TestAnalyzerSelection covers the -enable/-disable name resolution.
+func TestAnalyzerSelection(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(all))
+	}
+	got, err := ByName("determinism, registry")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ByName: %v %v", got, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown analyzer must error")
+	}
+}
+
+// TestCleanPackageIsClean: the panicfree fixture run under an analyzer
+// with nothing to say must yield zero findings, so exit-zero runs of the
+// driver are meaningful.
+func TestCleanPackageIsClean(t *testing.T) {
+	pkg := loadFixture(t, "panicfree")
+	res := Run([]*Package{pkg}, []*Analyzer{AnalyzerRegistry(), AnalyzerDeterminism()})
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("unexpected findings: %s", render(res.Diagnostics))
+	}
+}
+
+// TestLoaderPatterns: ./... expansion skips testdata and finds the real
+// packages of this module.
+func TestLoaderPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walks and parses the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].RelPath != "internal/lint" {
+		t.Fatalf("pkgs = %+v", pkgs)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.RelPath, "testdata") {
+			t.Fatalf("testdata package leaked into load: %s", p.RelPath)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and (best-effort) type-checked package.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// RelPath is Dir relative to the module root, "." for the root
+	// package. Allowlists match against this path.
+	RelPath string
+	// Fset positions all files of the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, sorted by filename.
+	Files []*ast.File
+	// Info carries type information; lookups may miss entries when
+	// type-checking was incomplete, so analyzers must nil-check.
+	Info *types.Info
+	// Types is the checked package object (possibly partially complete).
+	Types *types.Package
+	// TypeErrors collects type-checker complaints; the syntactic
+	// analyzers still run over packages that fail to check.
+	TypeErrors []error
+
+	directives []directive
+	badDiags   []Diagnostic
+}
+
+// Loader loads module packages for analysis.
+type Loader struct {
+	// ModRoot is the directory containing go.mod.
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+
+	fset     *token.FileSet
+	std      types.Importer
+	checked  map[string]*types.Package
+	checking map[string]bool
+}
+
+// NewLoader locates the module root at or above dir and prepares a loader.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving %s: %w", dir, err)
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot:  root,
+		ModPath:  modPath,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		checked:  make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}, nil
+}
+
+// Load resolves the given package patterns. Supported forms: "./...",
+// "dir/...", plain directories ("./internal/energy", "."), and
+// module-qualified import paths. Directories named testdata, hidden
+// directories, and directories without non-test Go files are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.ModRoot, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if err := l.walk(l.resolveDir(base), add); err != nil {
+				return nil, err
+			}
+		default:
+			add(l.resolveDir(pat))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// resolveDir maps a pattern base to a directory: module-qualified import
+// paths land inside the module root, anything else is a file path.
+func (l *Loader) resolveDir(pat string) string {
+	if pat == l.ModPath {
+		return l.ModRoot
+	}
+	if rest, ok := strings.CutPrefix(pat, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, rest)
+	}
+	if filepath.IsAbs(pat) {
+		return pat
+	}
+	return filepath.Join(l.ModRoot, pat)
+}
+
+func (l *Loader) walk(root string, add func(string)) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		add(path)
+		return nil
+	})
+}
+
+// loadDir parses and type-checks one directory; returns nil if it holds
+// no non-test Go files.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		rel = dir
+	}
+	pkg := &Package{
+		Dir:     dir,
+		RelPath: filepath.ToSlash(rel),
+		Fset:    l.fset,
+		Files:   files,
+	}
+	pkg.collectDirectives()
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(l.importPathFor(dir), l.fset, files, info)
+	pkg.Info = info
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer: module-internal paths are checked
+// from source through this loader; everything else (the standard
+// library) falls through to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+		return l.std.Import(path)
+	}
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer func() { l.checking[path] = false }()
+
+	dir := l.ModRoot
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		dir = filepath.Join(l.ModRoot, rest)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	p, err := conf.Check(path, l.fset, files, nil)
+	if p != nil {
+		l.checked[path] = p
+		return p, nil
+	}
+	return nil, err
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerPanicFree flags panic calls in library code under internal/.
+// The experiment runner and the lpmemd service call into these packages
+// on behalf of HTTP requests; a panic in model code tears down in-flight
+// work instead of failing one request. Panics that guard documented
+// programming-error invariants (power-of-two geometry, Must* helpers)
+// stay, but each must carry a //lint:allow panicfree directive stating
+// why it can never fire on user-supplied input.
+func AnalyzerPanicFree() *Analyzer {
+	return &Analyzer{
+		Name: "panicfree",
+		Doc:  "flags panic() in internal/ library code; annotate invariant guards with //lint:allow",
+		Run:  runPanicFree,
+	}
+}
+
+func runPanicFree(pkg *Package, rep *Reporter) {
+	if !strings.HasPrefix(pkg.RelPath+"/", "internal/") {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// A local redefinition of panic would shadow the builtin.
+			if pkg.Info != nil {
+				if obj := pkg.Info.Uses[id]; obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+						return true
+					}
+				}
+			}
+			rep.Reportf(call.Pos(), "panic in library code; return an error or annotate the invariant")
+			return true
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerRegistry cross-checks the experiment registry (the composite
+// literals returned by Experiments()) against the exp_*.go files of the
+// same package. Every runE<N> function must be registered, IDs must be
+// unique and sequential from E1, and every entry must carry a non-empty
+// Title and PaperClaim — the headline number the experiment reproduces.
+func AnalyzerRegistry() *Analyzer {
+	return &Analyzer{
+		Name: "registry",
+		Doc:  "cross-checks Experiments() against exp_*.go for missing, duplicate or undocumented entries",
+		Run:  runRegistry,
+	}
+}
+
+var runFuncName = regexp.MustCompile(`^runE([0-9]+)$`)
+
+// registryEntry is one Experiment literal found in Experiments().
+type registryEntry struct {
+	pos        token.Pos
+	id         string
+	title      string
+	paperClaim string
+	runName    string
+	hasRun     bool
+}
+
+func runRegistry(pkg *Package, rep *Reporter) {
+	expFn := findExperimentsFunc(pkg)
+	if expFn == nil {
+		return
+	}
+	entries := collectRegistryEntries(expFn)
+
+	// Per-entry field checks.
+	byID := make(map[string]token.Pos)
+	registeredRuns := make(map[string]bool)
+	for _, e := range entries {
+		if e.id == "" {
+			rep.Reportf(e.pos, "experiment entry has empty ID")
+		} else if prev, dup := byID[e.id]; dup {
+			p := pkg.Fset.Position(prev)
+			rep.Reportf(e.pos, "duplicate experiment ID %q (first registered at %s:%d)",
+				e.id, filepath.Base(p.Filename), p.Line)
+		} else {
+			byID[e.id] = e.pos
+		}
+		if e.title == "" {
+			rep.Reportf(e.pos, "experiment %s has empty Title", orUnnamed(e.id))
+		}
+		if e.paperClaim == "" {
+			rep.Reportf(e.pos, "experiment %s has empty PaperClaim: record the paper's headline number", orUnnamed(e.id))
+		}
+		if !e.hasRun {
+			rep.Reportf(e.pos, "experiment %s has no Run function", orUnnamed(e.id))
+		}
+		if e.runName != "" {
+			registeredRuns[e.runName] = true
+		}
+	}
+
+	// Sequential-ID check: IDs must be exactly E1..EN.
+	var nums []int
+	for id := range byID {
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "E")); err == nil && strings.HasPrefix(id, "E") {
+			nums = append(nums, n)
+		} else {
+			rep.Reportf(byID[id], "experiment ID %q does not match E<number>", id)
+		}
+	}
+	sort.Ints(nums)
+	for i, n := range nums {
+		if n != i+1 {
+			rep.Reportf(expFn.Pos(), "experiment IDs are not sequential: want E%d, have E%d", i+1, n)
+			break
+		}
+	}
+
+	// Cross-check: every runE<N> declared in an exp_*.go file must be
+	// registered, and every registered Run must exist in the package.
+	declared := make(map[string]token.Pos)
+	for _, f := range pkg.Files {
+		fname := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		inExpFile := strings.HasPrefix(fname, "exp_") && strings.HasSuffix(fname, ".go")
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if runFuncName.MatchString(fd.Name.Name) {
+				declared[fd.Name.Name] = fd.Pos()
+				if inExpFile && !registeredRuns[fd.Name.Name] {
+					rep.Reportf(fd.Pos(), "experiment function %s in %s is not registered in Experiments()",
+						fd.Name.Name, fname)
+				}
+			}
+		}
+	}
+	for _, e := range entries {
+		if e.runName != "" {
+			if _, ok := declared[e.runName]; !ok && runFuncName.MatchString(e.runName) {
+				rep.Reportf(e.pos, "experiment %s registers Run function %s which is not declared in this package",
+					orUnnamed(e.id), e.runName)
+			}
+		}
+	}
+}
+
+func orUnnamed(id string) string {
+	if id == "" {
+		return "(unnamed)"
+	}
+	return id
+}
+
+// findExperimentsFunc locates `func Experiments() []Experiment`.
+func findExperimentsFunc(pkg *Package) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.Name != "Experiments" {
+				continue
+			}
+			if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+				continue
+			}
+			if arr, ok := fd.Type.Results.List[0].Type.(*ast.ArrayType); ok {
+				if id, ok := arr.Elt.(*ast.Ident); ok && id.Name == "Experiment" {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectRegistryEntries walks the Experiments body for Experiment
+// composite literals with keyed fields.
+func collectRegistryEntries(fn *ast.FuncDecl) []registryEntry {
+	var entries []registryEntry
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		// Keep only struct literals with at least one of our keys; the
+		// outer []Experiment literal has no keyed fields itself.
+		e := registryEntry{pos: cl.Pos()}
+		matched := false
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "ID":
+				e.id = litString(kv.Value)
+				matched = true
+			case "Title":
+				e.title = litString(kv.Value)
+				matched = true
+			case "PaperClaim":
+				e.paperClaim = litString(kv.Value)
+				matched = true
+			case "Run":
+				matched = true
+				if id, ok := kv.Value.(*ast.Ident); ok {
+					if id.Name == "nil" {
+						break
+					}
+					e.runName = id.Name
+				}
+				e.hasRun = true
+			}
+		}
+		if matched {
+			entries = append(entries, e)
+			return false
+		}
+		return true
+	})
+	return entries
+}
+
+// litString unquotes a string literal expression, or returns "" when the
+// value is not a plain literal (computed IDs are checked elsewhere).
+func litString(e ast.Expr) string {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return fmt.Sprintf("<%s>", exprString(e))
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}

@@ -1,0 +1,44 @@
+// Package determinism is a lint fixture: every construct here that reads
+// process-global state should be flagged by the determinism analyzer,
+// except the explicitly allowed site.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Bad: package-global randomness, unseeded.
+func GlobalRand() int {
+	return rand.Intn(100) // want finding
+}
+
+// Bad: more global rand forms.
+func GlobalRandFloat() float64 {
+	x := rand.Float64() // want finding
+	rand.Shuffle(3, func(i, j int) {})
+	return x
+}
+
+// Bad: wall clock in model code.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want finding
+}
+
+// Bad: environment read in model code.
+func EnvRead() string {
+	return os.Getenv("LPMEM_MODE") // want finding
+}
+
+// Good: seeded source injected explicitly.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+// Good: suppressed with a documented reason.
+func AllowedClock() time.Time {
+	//lint:allow determinism this fixture documents the directive syntax
+	return time.Now()
+}

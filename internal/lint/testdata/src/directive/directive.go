@@ -1,0 +1,12 @@
+// Package directive is a lint fixture: malformed //lint:allow comments
+// are findings in their own right.
+package directive
+
+//lint:allow
+func MissingName() {}
+
+//lint:allow panicfree
+func MissingReason() {}
+
+//lint:allow panicfree a well-formed directive is not a finding
+func WellFormed() {}

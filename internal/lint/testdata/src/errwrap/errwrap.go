@@ -1,0 +1,62 @@
+// Package errwrap is a lint fixture: un-wrapped fmt.Errorf error args and
+// silently discarded error returns must be flagged.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func failing() error { return errSentinel }
+
+func pair() (int, error) { return 0, errSentinel }
+
+// Bad: %v flattens the chain.
+func Flatten(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want finding
+}
+
+// Good: %w preserves the chain.
+func Wrap(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+// Good: no error argument at all.
+func Plain(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// Bad: both returns silently dropped.
+func Discards() {
+	failing() // want finding
+	pair()    // want finding
+}
+
+// Bad: goroutine and defer drop errors just as silently.
+func DiscardsAsync() {
+	go failing()    // want finding
+	defer failing() // want finding
+}
+
+// Good: explicit blank assignment documents the discard.
+func ExplicitDiscard() {
+	_ = failing()
+	_, _ = pair()
+}
+
+// Good: directive-covered discard.
+func AllowedDiscard() {
+	//lint:allow errwrap fixture documents a suppressed discard
+	failing()
+}
+
+// Good: exempt sinks.
+func Exempt() string {
+	var b strings.Builder
+	b.WriteString("hello")
+	fmt.Println("hello")
+	return b.String()
+}

@@ -1,0 +1,43 @@
+// Package floatcompare is a lint fixture: exact float comparisons after
+// arithmetic must be flagged; zero guards and annotated ties must not.
+package floatcompare
+
+// PJ mirrors the energy type: a named float64.
+type PJ float64
+
+// Bad: equality between computed floats.
+func Equal(a, b float64) bool {
+	return a+1 == b+1 // want finding
+}
+
+// Bad: inequality on a named float type.
+func NamedNotEqual(a, b PJ) bool {
+	return a != b // want finding
+}
+
+// Bad: comparison against a non-zero constant.
+func AgainstConst(x float64) bool {
+	return x == 1.5 // want finding
+}
+
+// Good: exact-zero guard before division.
+func ZeroGuard(base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 / base
+}
+
+// Good: annotated deterministic tie-break.
+func TieBreak(a, b float64, i, j int) bool {
+	//lint:allow floatcompare exact tie-break keeps the sort order deterministic
+	if a != b {
+		return a < b
+	}
+	return i < j
+}
+
+// Good: integer comparison is not the analyzer's business.
+func Ints(a, b int) bool {
+	return a == b
+}

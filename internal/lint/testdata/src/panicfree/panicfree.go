@@ -1,0 +1,30 @@
+// Package panicfree is a lint fixture: panic in library code must be
+// flagged unless annotated with a reasoned directive.
+package panicfree
+
+import "errors"
+
+// Bad: recoverable condition handled with panic.
+func Parse(s string) int {
+	if s == "" {
+		panic("empty input") // want finding
+	}
+	return len(s)
+}
+
+// Good: annotated Must helper.
+func MustParse(s string) int {
+	if s == "" {
+		//lint:allow panicfree Must* helper; the panic is the documented contract
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// Good: errors returned, no panic.
+func ParseErr(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty input")
+	}
+	return len(s), nil
+}

@@ -1,0 +1,8 @@
+package registry
+
+// runE4 is registered, so it is fine even though it lives here.
+func runE4() (*Result, error) { return &Result{}, nil }
+
+// runE7 is declared in an exp_*.go file but never registered: the
+// analyzer must flag it as an unregistered experiment.
+func runE7() (*Result, error) { return &Result{}, nil }

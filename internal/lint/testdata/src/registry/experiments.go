@@ -1,0 +1,56 @@
+// Package registry is a lint fixture for the registry analyzer: the
+// Experiments table below seeds one of each violation class.
+package registry
+
+// Result mirrors the real experiment result shape.
+type Result struct{}
+
+// Experiment mirrors the real registry entry shape.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func() (*Result, error)
+}
+
+// Experiments returns a deliberately broken registry.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:         "E1",
+			Title:      "first experiment",
+			PaperClaim: "-10% energy",
+			Run:        runE1,
+		},
+		{
+			ID:         "E1", // duplicate ID
+			Title:      "",   // empty title
+			PaperClaim: "-20% energy",
+			Run:        runE2,
+		},
+		//lint:allow registry suppressed on purpose: the fixture documents directive coverage
+		{
+			ID:         "E2",
+			Title:      "", // empty title, but suppressed by the directive above
+			PaperClaim: "-15% energy",
+			Run:        runE2b,
+		},
+		{
+			ID:         "E4", // gap: E3 missing
+			Title:      "fourth experiment",
+			PaperClaim: "", // empty claim
+			Run:        runE4,
+		},
+		{
+			ID:         "E5",
+			Title:      "phantom experiment",
+			PaperClaim: "-30% energy",
+			Run:        runE9, // not declared anywhere
+		},
+	}
+}
+
+func runE1() (*Result, error) { return &Result{}, nil }
+func runE2() (*Result, error) { return &Result{}, nil }
+
+func runE2b() (*Result, error) { return &Result{}, nil }

@@ -182,6 +182,7 @@ func (m Mesh) CheckBandwidth(g *Graph, mapping []int) ([]Routing, bool) {
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		fa, fb := g.Flows[idx[a]], g.Flows[idx[b]]
+		//lint:allow floatcompare exact tie-break keeps the sort order deterministic
 		if fa.BW != fb.BW {
 			return fa.BW > fb.BW
 		}
@@ -253,6 +254,7 @@ func MapBnB(m Mesh, g *Graph, maxNodes uint64) (*MapResult, error) {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
+		//lint:allow floatcompare exact tie-break keeps the sort order deterministic
 		if vol[order[a]] != vol[order[b]] {
 			return vol[order[a]] > vol[order[b]]
 		}

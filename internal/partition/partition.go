@@ -55,10 +55,12 @@ func (s *Spec) TotalAccesses() uint64 {
 // SpecFromTrace builds a Spec from the data accesses of a trace. The
 // occupied blocks are compacted in ascending address order (the linker
 // view of the memory image). The returned slice maps block index to the
-// original block base address, so callers can translate back.
-func SpecFromTrace(t *trace.Trace, blockSize uint32, cycles uint64) (*Spec, []uint32) {
+// original block base address, so callers can translate back. blockSize
+// must be a power of two; a bad geometry is reported as an error so that
+// callers driven by external configuration can recover.
+func SpecFromTrace(t *trace.Trace, blockSize uint32, cycles uint64) (*Spec, []uint32, error) {
 	if blockSize == 0 || blockSize&(blockSize-1) != 0 {
-		panic(fmt.Sprintf("partition: block size %d is not a power of two", blockSize))
+		return nil, nil, fmt.Errorf("partition: block size %d is not a power of two", blockSize)
 	}
 	type rw struct{ r, w uint64 }
 	counts := make(map[uint32]*rw)
@@ -88,7 +90,7 @@ func SpecFromTrace(t *trace.Trace, blockSize uint32, cycles uint64) (*Spec, []ui
 	for i, b := range bases {
 		spec.Blocks[i] = BlockStats{Reads: counts[b].r, Writes: counts[b].w}
 	}
-	return spec, bases
+	return spec, bases, nil
 }
 
 // Bank is one contiguous memory bank of a partition.
@@ -174,14 +176,14 @@ func Monolithic(spec *Spec) *Partition {
 
 // Optimal computes the minimum-energy partition into at most maxBanks
 // contiguous banks, via dynamic programming, and returns it with its
-// energy. maxBanks must be >= 1.
-func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy.PJ) {
+// energy. A bank budget below 1 is reported as an error.
+func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy.PJ, error) {
+	if maxBanks < 1 {
+		return nil, 0, fmt.Errorf("partition: maxBanks must be >= 1, got %d", maxBanks)
+	}
 	n := len(spec.Blocks)
 	if n == 0 {
-		return &Partition{}, 0
-	}
-	if maxBanks < 1 {
-		panic("partition: maxBanks must be >= 1")
+		return &Partition{}, 0, nil
 	}
 	// Prefix sums for O(1) range statistics.
 	preR := make([]uint64, n+1)
@@ -255,5 +257,5 @@ func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy
 	for l, r := 0, len(banks)-1; l < r; l, r = l+1, r-1 {
 		banks[l], banks[r] = banks[r], banks[l]
 	}
-	return &Partition{Banks: banks}, bestE
+	return &Partition{Banks: banks}, bestE, nil
 }

@@ -25,7 +25,10 @@ func TestSpecFromTrace(t *testing.T) {
 	tr.Append(trace.Access{Addr: 0x104, Kind: trace.Write, Width: 4})
 	tr.Append(trace.Access{Addr: 0x300, Kind: trace.Read, Width: 4})
 	tr.Append(trace.Access{Addr: 0x0, Kind: trace.Fetch, Width: 4}) // ignored
-	spec, bases := SpecFromTrace(tr, 64, 500)
+	spec, bases, err := SpecFromTrace(tr, 64, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(spec.Blocks) != 2 || len(bases) != 2 {
 		t.Fatalf("blocks = %d", len(spec.Blocks))
 	}
@@ -40,13 +43,10 @@ func TestSpecFromTrace(t *testing.T) {
 	}
 }
 
-func TestSpecFromTracePanicsOnBadBlock(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
-		}
-	}()
-	SpecFromTrace(trace.New(0), 48, 0)
+func TestSpecFromTraceErrorsOnBadBlock(t *testing.T) {
+	if _, _, err := SpecFromTrace(trace.New(0), 48, 0); err == nil {
+		t.Fatal("want error")
+	}
 }
 
 func TestPow2Ceil(t *testing.T) {
@@ -83,8 +83,8 @@ func TestOptimalNeverWorseThanMonolithic(t *testing.T) {
 			spec.Blocks[i] = BlockStats{Reads: uint64(r.Intn(1000)), Writes: uint64(r.Intn(300))}
 		}
 		monoE := Energy(spec, Monolithic(spec), model())
-		_, optE := Optimal(spec, 4, model())
-		return optE <= monoE+1e-6
+		_, optE, err := Optimal(spec, 4, model())
+		return err == nil && optE <= monoE+1e-6
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -102,7 +102,10 @@ func TestOptimalMatchesBruteForce(t *testing.T) {
 			spec.Blocks[i] = BlockStats{Reads: uint64(r.Intn(500)), Writes: uint64(r.Intn(100))}
 		}
 		const maxBanks = 3
-		_, dpE := Optimal(spec, maxBanks, model())
+		_, dpE, err := Optimal(spec, maxBanks, model())
+		if err != nil {
+			t.Fatal(err)
+		}
 
 		// Brute force: every subset of cut positions with < maxBanks cuts.
 		best := energy.PJ(1e30)
@@ -152,7 +155,10 @@ func partitionFromCuts(spec *Spec, cuts []int) *Partition {
 func TestOptimalIsolatesHotBlock(t *testing.T) {
 	spec := flatSpec(32, 2)
 	spec.Blocks[0] = BlockStats{Reads: 100000}
-	p, _ := Optimal(spec, 4, model())
+	p, _, err := Optimal(spec, 4, model())
+	if err != nil {
+		t.Fatal(err)
+	}
 	first := p.Banks[0]
 	if first.NumBlocks != 1 || first.Reads != 100000 {
 		t.Fatalf("hot block not isolated: %+v", p)
@@ -160,16 +166,16 @@ func TestOptimalIsolatesHotBlock(t *testing.T) {
 }
 
 func TestOptimalEmptyAndBadArgs(t *testing.T) {
-	p, e := Optimal(&Spec{BlockSize: 64}, 4, model())
+	p, e, err := Optimal(&Spec{BlockSize: 64}, 4, model())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.NumBanks() != 0 || e != 0 {
 		t.Fatal("empty spec should yield empty partition")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("maxBanks < 1 must panic")
-		}
-	}()
-	Optimal(flatSpec(2, 1), 0, model())
+	if _, _, err := Optimal(flatSpec(2, 1), 0, model()); err == nil {
+		t.Fatal("maxBanks < 1 must be an error")
+	}
 }
 
 // TestBanksArePartition: banks must tile the block range exactly.
@@ -181,7 +187,10 @@ func TestBanksArePartition(t *testing.T) {
 		for i := range spec.Blocks {
 			spec.Blocks[i] = BlockStats{Reads: uint64(r.Intn(100))}
 		}
-		p, _ := Optimal(spec, 1+r.Intn(6), model())
+		p, _, err := Optimal(spec, 1+r.Intn(6), model())
+		if err != nil {
+			return false
+		}
 		at := 0
 		for _, b := range p.Banks {
 			if b.FirstBlock != at || b.NumBlocks <= 0 {
@@ -205,7 +214,10 @@ func TestMoreBanksNeverHurt(t *testing.T) {
 	}
 	prev := energy.PJ(1e30)
 	for _, k := range []int{1, 2, 4, 8} {
-		_, e := Optimal(spec, k, model())
+		_, e, err := Optimal(spec, k, model())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if e > prev+1e-9 {
 			t.Fatalf("budget %d made energy worse: %v > %v", k, e, prev)
 		}

@@ -18,13 +18,16 @@ type TradeoffPoint struct {
 // Tradeoff sweeps the bank budget from 1 to maxBanks and returns the
 // energy curve. The curve is non-increasing in the budget (a bigger
 // budget can always fall back to fewer banks).
-func Tradeoff(spec *Spec, maxBanks int, m energy.MemoryModel) []TradeoffPoint {
+func Tradeoff(spec *Spec, maxBanks int, m energy.MemoryModel) ([]TradeoffPoint, error) {
 	out := make([]TradeoffPoint, 0, maxBanks)
 	for k := 1; k <= maxBanks; k++ {
-		p, e := Optimal(spec, k, m)
+		p, e, err := Optimal(spec, k, m)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, TradeoffPoint{MaxBanks: k, BanksUsed: p.NumBanks(), Energy: e})
 	}
-	return out
+	return out, nil
 }
 
 // Knee returns the smallest budget whose energy is within tol (a fraction,

@@ -14,8 +14,14 @@ func TestTradeoffMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := workloads.MustRun(k.Build(1))
-	spec, _ := SpecFromTrace(res.Trace, 64, res.Cycles)
-	curve := Tradeoff(spec, 8, energy.DefaultMemoryModel())
+	spec, _, err := SpecFromTrace(res.Trace, 64, res.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := Tradeoff(spec, 8, energy.DefaultMemoryModel())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(curve) != 8 {
 		t.Fatalf("curve length %d", len(curve))
 	}

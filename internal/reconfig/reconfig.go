@@ -250,6 +250,7 @@ func Schedule(app *App, arch Arch) (Breakdown, []map[string]Level, error) {
 		sort.Slice(uses, func(i, j int) bool {
 			di := float64(uses[i].Reads+uses[i].Writes) / float64(size[uses[i].Buffer])
 			dj := float64(uses[j].Reads+uses[j].Writes) / float64(size[uses[j].Buffer])
+			//lint:allow floatcompare exact tie-break keeps the sort order deterministic
 			if di != dj {
 				return di > dj
 			}

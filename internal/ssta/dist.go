@@ -150,6 +150,7 @@ func (d *Dist) Mean() float64 {
 // StochasticallyDominates reports whether d >= other in the usual
 // stochastic order (CDF of d is pointwise <= CDF of other), up to tol.
 func (d *Dist) StochasticallyDominates(other *Dist, tol float64) bool {
+	//lint:allow floatcompare grid-identity check; compatible grids share literal construction so equality is exact
 	if d.T0 != other.T0 || d.Step != other.Step || len(d.CDF) != len(other.CDF) {
 		return false
 	}
@@ -162,6 +163,7 @@ func (d *Dist) StochasticallyDominates(other *Dist, tol float64) bool {
 }
 
 func compatible(a, b *Dist) error {
+	//lint:allow floatcompare grid-identity check; compatible grids share literal construction so equality is exact
 	if a.T0 != b.T0 || a.Step != b.Step || len(a.CDF) != len(b.CDF) {
 		return fmt.Errorf("ssta: incompatible grids (%g/%g/%d vs %g/%g/%d)",
 			a.T0, a.Step, len(a.CDF), b.T0, b.Step, len(b.CDF))

@@ -39,6 +39,7 @@ func GeoMean(xs []float64) float64 {
 // Min returns the minimum of xs; it panics on an empty slice.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
+		//lint:allow panicfree returning a fabricated 0 would silently corrupt paper tables; empty input is a harness bug
 		panic("stats: Min of empty slice")
 	}
 	m := xs[0]
@@ -53,6 +54,7 @@ func Min(xs []float64) float64 {
 // Max returns the maximum of xs; it panics on an empty slice.
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
+		//lint:allow panicfree returning a fabricated 0 would silently corrupt paper tables; empty input is a harness bug
 		panic("stats: Max of empty slice")
 	}
 	m := xs[0]
@@ -67,6 +69,7 @@ func Max(xs []float64) float64 {
 // Median returns the median of xs; it panics on an empty slice.
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {
+		//lint:allow panicfree returning a fabricated 0 would silently corrupt paper tables; empty input is a harness bug
 		panic("stats: Median of empty slice")
 	}
 	s := append([]float64(nil), xs...)

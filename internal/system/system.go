@@ -80,11 +80,11 @@ func Run(inst *workloads.Instance, cfg Config) (*Result, error) {
 	tr := trace.New(4096)
 	cpu.Trace = tr
 	if err := cpu.Run(inst.MaxSteps); err != nil {
-		return nil, fmt.Errorf("system: %s: %v", inst.Name, err)
+		return nil, fmt.Errorf("system: %s: %w", inst.Name, err)
 	}
 	if inst.Check != nil {
 		if err := inst.Check(cpu); err != nil {
-			return nil, fmt.Errorf("system: %s: check failed: %v", inst.Name, err)
+			return nil, fmt.Errorf("system: %s: check failed: %w", inst.Name, err)
 		}
 	}
 	return Replay(tr, cpu.Cycles, cfg)

@@ -39,6 +39,7 @@ type Region struct {
 // which is always a configuration bug.
 func Synthesize(cfg SynthConfig) *Trace {
 	if len(cfg.Regions) == 0 {
+		//lint:allow panicfree documented config-bug guard; region lists are literals in experiment code
 		panic("trace: Synthesize requires at least one region")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))

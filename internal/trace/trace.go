@@ -149,6 +149,7 @@ type Profile struct {
 // non-power-of-two granularity is always a programming error.
 func ProfileOf(t *Trace, blockSize uint32) *Profile {
 	if blockSize == 0 || blockSize&(blockSize-1) != 0 {
+		//lint:allow panicfree documented programming-error guard, per the doc comment above
 		panic(fmt.Sprintf("trace: block size %d is not a power of two", blockSize))
 	}
 	p := &Profile{Counts: make(map[uint32]uint64), BlockSize: blockSize}
@@ -220,19 +221,19 @@ func ReadText(r io.Reader) (*Trace, error) {
 		}
 		kind, err := ParseKind(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		addr, err := strconv.ParseUint(fields[1], 16, 32)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad address: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: bad address: %w", line, err)
 		}
 		width, err := strconv.ParseUint(fields[2], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad width: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: bad width: %w", line, err)
 		}
 		value, err := strconv.ParseUint(fields[3], 16, 32)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad value: %v", line, err)
+			return nil, fmt.Errorf("trace: line %d: bad value: %w", line, err)
 		}
 		t.Append(Access{Addr: uint32(addr), Value: uint32(value), Width: uint8(width), Kind: kind})
 	}

@@ -233,7 +233,7 @@ func CRC32(seed int64) *Instance {
 	)
 	r := rng(seed)
 	data := make([]byte, n)
-	r.Read(data)
+	_, _ = r.Read(data) // rand.Rand.Read always returns len(p), nil
 	tbl := crcTable()
 	crc := uint32(0xFFFFFFFF)
 	for _, by := range data {

@@ -88,11 +88,11 @@ func Run(inst *Instance) (*Result, error) {
 	}
 	t, err := cpu.RunTraced(inst.MaxSteps)
 	if err != nil {
-		return nil, fmt.Errorf("workloads: %s: %v", inst.Name, err)
+		return nil, fmt.Errorf("workloads: %s: %w", inst.Name, err)
 	}
 	if inst.Check != nil {
 		if err := inst.Check(cpu); err != nil {
-			return nil, fmt.Errorf("workloads: %s: check failed: %v", inst.Name, err)
+			return nil, fmt.Errorf("workloads: %s: check failed: %w", inst.Name, err)
 		}
 	}
 	return &Result{Trace: t, Cycles: cpu.Cycles, Retired: cpu.Instructions}, nil
@@ -102,6 +102,7 @@ func Run(inst *Instance) (*Result, error) {
 func MustRun(inst *Instance) *Result {
 	r, err := Run(inst)
 	if err != nil {
+		//lint:allow panicfree Must* helper for tests and benchmarks; panicking on failure is the documented contract
 		panic(err)
 	}
 	return r

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI gate: formatting, vet, build, and the full test suite under the race
+# CI gate: formatting, vet, lpmemlint, build, and the full test suite under the race
 # detector — the race run is the correctness backstop for the concurrent
 # experiment runner (internal/runner) and the lpmemd HTTP service.
 set -euo pipefail
@@ -15,6 +15,9 @@ fi
 
 echo "== go vet"
 go vet ./...
+
+echo "== lpmemlint"
+go run ./cmd/lpmemlint ./...
 
 echo "== go build"
 go build ./...

@@ -4,33 +4,52 @@ import (
 	"context"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"lpmem/internal/runner"
 )
 
+// benchEngineOnce hoists the engine shared by every per-experiment
+// benchmark: constructing one per benchmark both skewed small benchmarks
+// with setup cost and left each run with its own (empty) metrics, hiding
+// whether the no-cache contract actually held.
+var benchEngineOnce = sync.OnceValue(func() *Engine {
+	return NewEngine(runner.Options{Workers: 1, NoCache: true})
+})
+
 // benchExperiment runs one registry experiment under testing.B, routed
-// through the runner engine (cache disabled so every iteration measures
-// the full pipeline: workload execution, optimization, evaluation). The
-// first iteration logs the regenerated table so `go test -bench -v`
-// reproduces the paper's numbers.
+// through the shared runner engine (cache disabled so every iteration
+// measures the full pipeline: workload execution, optimization,
+// evaluation). After the loop it asserts the engine served nothing from
+// cache — a benchmark that silently measured cached runs would report
+// nonsense numbers. The first iteration logs the regenerated table so
+// `go test -bench -v` reproduces the paper's numbers.
 func benchExperiment(b *testing.B, id string) {
 	exp, err := ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := NewEngine(runner.Options{Workers: 1, NoCache: true})
+	eng := benchEngineOnce()
 	ctx := context.Background()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		reports := RunBatch(ctx, eng, []Experiment{exp})
 		if err := reports[0].Outcome.Err; err != nil {
 			b.Fatal(err)
+		}
+		if reports[0].Outcome.Cached {
+			b.Fatalf("%s iteration %d served from cache; benchmarks must measure real runs", id, i)
 		}
 		if i == 0 {
 			res := reports[0].Outcome.Value
 			b.Logf("%s — %s\npaper claim: %s\n%s\n%s",
 				exp.ID, exp.Title, exp.PaperClaim, res.Table.String(), res.Summary)
 		}
+	}
+	b.StopTimer()
+	if hits := eng.Metrics().CacheHits; hits != 0 {
+		b.Fatalf("bench engine recorded %d cache hits; the no-cache contract is broken", hits)
 	}
 }
 
@@ -54,7 +73,14 @@ func BenchmarkRunnerAll(b *testing.B) {
 					if r.Outcome.Err != nil {
 						b.Fatalf("%s: %v", r.Experiment.ID, r.Outcome.Err)
 					}
+					if r.Outcome.Cached {
+						b.Fatalf("%s served from cache in a no-cache benchmark", r.Experiment.ID)
+					}
 				}
+			}
+			b.StopTimer()
+			if hits := eng.Metrics().CacheHits; hits != 0 {
+				b.Fatalf("engine recorded %d cache hits; the no-cache contract is broken", hits)
 			}
 		})
 	}

@@ -60,6 +60,53 @@ func TestRunJSONGolden(t *testing.T) {
 	}
 }
 
+// TestRunJSONAllGolden: `lpmem run -json all` must reproduce the
+// checked-in full-registry envelope byte-for-byte (modulo wall time).
+// This locks the complete JSON surface shipped in PR 1 — every
+// experiment's id, title, claim, summary, header and rows, and the array
+// framing lpmemd shares — so an envelope change can only happen
+// deliberately. Regenerate with `go test ./cmd/lpmem -run Golden -update`.
+func TestRunJSONAllGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run; skipped in -short mode")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"run", "-json", "all"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := normalize(out.Bytes())
+
+	golden := filepath.Join("testdata", "run_all.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("full-registry golden mismatch (run with -update after a deliberate change)\n--- got ---\n%.2000s\n--- want ---\n%.2000s", got, want)
+	}
+
+	var envs []lpmem.ResultJSON
+	if err := json.Unmarshal(out.Bytes(), &envs); err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != len(lpmem.Experiments()) {
+		t.Fatalf("envelope count %d, want %d", len(envs), len(lpmem.Experiments()))
+	}
+	for i, exp := range lpmem.Experiments() {
+		if envs[i].ID != exp.ID || envs[i].Error != "" || len(envs[i].Rows) == 0 {
+			t.Fatalf("envelope %d: %+v", i, envs[i])
+		}
+	}
+}
+
 // TestRunTextOutput: the default text rendering keeps its table shape.
 func TestRunTextOutput(t *testing.T) {
 	var out, errOut bytes.Buffer

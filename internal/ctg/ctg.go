@@ -22,6 +22,7 @@ package ctg
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NoCond marks an unconditional task.
@@ -46,7 +47,11 @@ type Task struct {
 	Guard Guard
 }
 
-// Graph is a conditional task graph.
+// Graph is a conditional task graph. The structural fields (Tasks, Deps,
+// CondProb) must not be mutated once scheduling starts: the scheduler
+// memoizes the topological order, successor lists, task priorities and
+// scenario set on first use, because the DVS search and the GA evaluate
+// tens of thousands of schedules against the same structure.
 type Graph struct {
 	Tasks []Task
 	// Deps[i] lists the predecessors of task i.
@@ -55,6 +60,63 @@ type Graph struct {
 	CondProb []float64
 	// Deadline is the hard completion bound for every scenario.
 	Deadline float64
+
+	schedOnce sync.Once
+	sched     *sched
+}
+
+// sched holds the mapping-independent scheduling invariants of a graph
+// plus reusable scratch state for the list scheduler. The scratch is
+// guarded by mu so concurrent Makespan calls stay race-free (they
+// serialize; all callers in this repository are sequential anyway).
+type sched struct {
+	order     []int
+	succ      [][]int
+	prio      []float64
+	scenarios []Scenario
+	err       error
+
+	mu       sync.Mutex
+	done     []bool
+	active   []bool
+	finish   []float64
+	procFree []float64
+}
+
+// scheduler builds (once) and returns the graph's cached invariants.
+func (g *Graph) scheduler() *sched {
+	g.schedOnce.Do(func() {
+		s := &sched{}
+		s.order, s.err = g.topo()
+		if s.err != nil {
+			g.sched = s
+			return
+		}
+		n := len(g.Tasks)
+		s.succ = make([][]int, n)
+		for i, deps := range g.Deps {
+			for _, d := range deps {
+				s.succ[d] = append(s.succ[d], i)
+			}
+		}
+		// Longest path to exit at nominal WCET (list-scheduling priority).
+		s.prio = make([]float64, n)
+		for k := n - 1; k >= 0; k-- {
+			v := s.order[k]
+			s.prio[v] = g.Tasks[v].WCET
+			for _, sc := range s.succ[v] {
+				if s.prio[sc]+g.Tasks[v].WCET > s.prio[v] {
+					s.prio[v] = s.prio[sc] + g.Tasks[v].WCET
+				}
+			}
+		}
+		s.scenarios = g.Scenarios()
+		s.done = make([]bool, n)
+		s.active = make([]bool, n)
+		s.finish = make([]float64, n)
+		g.sched = s
+	})
+	return g.sched
 }
 
 // Validate checks structural sanity (indices, probabilities, acyclicity).
@@ -162,35 +224,33 @@ func (g *Graph) Active(i int, sc Scenario) bool {
 // nominal WCET; the policy is deterministic.
 func (g *Graph) Makespan(mapping []int, procs int, stretch []float64, sc Scenario) float64 {
 	n := len(g.Tasks)
-	order, _ := g.topo()
-	// Longest path to exit (priority).
-	prio := make([]float64, n)
-	succ := make([][]int, n)
-	for i, deps := range g.Deps {
-		for _, d := range deps {
-			succ[d] = append(succ[d], i)
-		}
+	s := g.scheduler()
+	if s.err != nil {
+		// Only possible with a cycle, excluded by Validate.
+		return 1e18
 	}
-	for k := n - 1; k >= 0; k-- {
-		v := order[k]
-		prio[v] = g.Tasks[v].WCET
-		for _, s := range succ[v] {
-			if prio[s]+g.Tasks[v].WCET > prio[v] {
-				prio[v] = prio[s] + g.Tasks[v].WCET
-			}
-		}
+	prio := s.prio
+
+	// Ready-list scheduling over the reusable scratch state.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done, active, finish := s.done, s.active, s.finish
+	if cap(s.procFree) < procs {
+		s.procFree = make([]float64, procs)
 	}
-	// Ready-list scheduling.
-	done := make([]bool, n)
-	finish := make([]float64, n)
-	procFree := make([]float64, procs)
+	procFree := s.procFree[:procs]
+	for i := range procFree {
+		procFree[i] = 0
+	}
 	remaining := 0
-	active := make([]bool, n)
 	for i := 0; i < n; i++ {
+		finish[i] = 0
 		if g.Active(i, sc) {
 			active[i] = true
+			done[i] = false
 			remaining++
 		} else {
+			active[i] = false
 			done[i] = true
 		}
 	}
@@ -246,7 +306,7 @@ func (g *Graph) Makespan(mapping []int, procs int, stretch []float64, sc Scenari
 
 // Feasible reports whether all scenarios meet the deadline.
 func (g *Graph) Feasible(mapping []int, procs int, stretch []float64) bool {
-	for _, sc := range g.Scenarios() {
+	for _, sc := range g.cachedScenarios() {
 		if g.Makespan(mapping, procs, stretch, sc) > g.Deadline+1e-9 {
 			return false
 		}
@@ -254,11 +314,21 @@ func (g *Graph) Feasible(mapping []int, procs int, stretch []float64) bool {
 	return true
 }
 
+// cachedScenarios returns the memoized scenario set when the graph is
+// schedulable, falling back to a fresh enumeration otherwise. Callers
+// must treat the result as read-only.
+func (g *Graph) cachedScenarios() []Scenario {
+	if s := g.scheduler(); s.err == nil {
+		return s.scenarios
+	}
+	return g.Scenarios()
+}
+
 // Energy returns the expected energy over scenarios under the stretches:
 // a task running at stretch s consumes Power*WCET/s².
 func (g *Graph) Energy(stretch []float64) float64 {
 	total := 0.0
-	for _, sc := range g.Scenarios() {
+	for _, sc := range g.cachedScenarios() {
 		e := 0.0
 		for i, t := range g.Tasks {
 			if !g.Active(i, sc) {

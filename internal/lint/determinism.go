@@ -15,6 +15,7 @@ import (
 var determinismAllowlist = []string{
 	"internal/runner",
 	"internal/httpapi",
+	"internal/regress",
 	"cmd/",
 	"examples/",
 }

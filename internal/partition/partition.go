@@ -194,11 +194,23 @@ func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy
 	}
 	// cost(i,j): energy of one bank holding blocks [i,j), including its
 	// leakage (select overhead depends on the final bank count and is
-	// added per k below).
+	// added per k below). The bank's physical size — and with it every
+	// size-dependent model term, each hiding a math.Pow — depends only on
+	// the block count j-i, so the O(n²·K) cost evaluations of the DP need
+	// just n model evaluations, memoized per length here.
+	readE := make([]energy.PJ, n+1)
+	writeE := make([]energy.PJ, n+1)
+	leakE := make([]energy.PJ, n+1)
+	for l := 1; l <= n; l++ {
+		size := pow2Ceil(uint32(l) * spec.BlockSize)
+		readE[l] = m.ReadEnergy(size)
+		writeE[l] = m.WriteEnergy(size)
+		leakE[l] = m.Leakage(size, spec.Cycles)
+	}
 	cost := func(i, j int) energy.PJ {
-		size := pow2Ceil(uint32(j-i) * spec.BlockSize)
-		return bankEnergy(m, size, preR[j]-preR[i], preW[j]-preW[i]) +
-			m.Leakage(size, spec.Cycles)
+		return readE[j-i]*energy.PJ(preR[j]-preR[i]) +
+			writeE[j-i]*energy.PJ(preW[j]-preW[i]) +
+			leakE[j-i]
 	}
 
 	const inf = energy.PJ(1e30)

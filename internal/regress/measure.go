@@ -1,0 +1,129 @@
+package regress
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"lpmem"
+	"lpmem/internal/runner"
+)
+
+// Measurement is one experiment's live cost and content, produced by
+// MeasureAll: min-of-N wall time and allocation cost, plus the snapshot
+// of the (deterministic) output from the final iteration.
+type Measurement struct {
+	ID       string   `json:"id"`
+	WallNS   int64    `json:"wall_ns"`
+	Allocs   uint64   `json:"allocs"`
+	Bytes    uint64   `json:"bytes"`
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// SnapshotOf flattens a successful report into its golden content.
+func SnapshotOf(r lpmem.Report) Snapshot {
+	s := Snapshot{
+		ID:         r.Experiment.ID,
+		Title:      r.Experiment.Title,
+		PaperClaim: r.Experiment.PaperClaim,
+	}
+	if res := r.Outcome.Value; res != nil {
+		s.Summary = res.Summary
+		if res.Table != nil {
+			s.Header = res.Table.Header()
+			s.Rows = res.Table.ToRows()
+		}
+	}
+	return s
+}
+
+// MeasureAll runs each experiment iterations times through a
+// cache-disabled single-worker engine — the real production pipeline,
+// serialized so timings aren't polluted by sibling experiments — and
+// returns min-of-N costs in input order. Any experiment failure aborts
+// the measurement: a baseline must never be recorded from a broken tree.
+func MeasureAll(exps []lpmem.Experiment, iterations int, progress func(id string)) ([]Measurement, error) {
+	if iterations < 1 {
+		iterations = 1
+	}
+	eng := lpmem.NewEngine(runner.Options{Workers: 1, NoCache: true})
+	ctx := context.Background()
+	out := make([]Measurement, 0, len(exps))
+	var ms runtime.MemStats
+	for _, exp := range exps {
+		if progress != nil {
+			progress(exp.ID)
+		}
+		m := Measurement{ID: exp.ID, WallNS: math.MaxInt64, Allocs: math.MaxUint64, Bytes: math.MaxUint64}
+		for it := 0; it < iterations; it++ {
+			runtime.ReadMemStats(&ms)
+			mallocs, bytes := ms.Mallocs, ms.TotalAlloc
+			reports := lpmem.RunBatch(ctx, eng, []lpmem.Experiment{exp})
+			runtime.ReadMemStats(&ms)
+			r := reports[0]
+			if r.Outcome.Err != nil {
+				return nil, fmt.Errorf("regress: %s failed: %w", exp.ID, r.Outcome.Err)
+			}
+			if r.Outcome.Cached {
+				return nil, fmt.Errorf("regress: %s served from cache; measurement engine must run uncached", exp.ID)
+			}
+			if ns := r.Outcome.Duration.Nanoseconds(); ns < m.WallNS {
+				m.WallNS = ns
+			}
+			if d := ms.Mallocs - mallocs; d < m.Allocs {
+				m.Allocs = d
+			}
+			if d := ms.TotalAlloc - bytes; d < m.Bytes {
+				m.Bytes = d
+			}
+			if it == iterations-1 {
+				m.Snapshot = SnapshotOf(r)
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// calSink defeats dead-code elimination of the calibration loop.
+var calSink float64
+
+// calibrationWork is a fixed, deterministic workload whose instruction
+// mix resembles the experiments (power-law float math, map-heavy
+// profiling, slice walks). Its wall time proxies machine speed so
+// baselines recorded on one machine can be checked on another.
+func calibrationWork() {
+	sum := 0.0
+	for i := 1; i <= 400_000; i++ {
+		sum += math.Pow(float64(i), 0.7)
+	}
+	counts := make(map[uint32]uint64, 4096)
+	for i := uint32(0); i < 300_000; i++ {
+		counts[(i*2654435761)&4095]++
+	}
+	buf := make([]float64, 1<<15)
+	for pass := 0; pass < 16; pass++ {
+		for j := range buf {
+			buf[j] += sum * float64(j&255)
+		}
+	}
+	calSink = sum + float64(counts[1]) + buf[len(buf)-1]
+}
+
+// Calibrate times the calibration workload min-of-N.
+func Calibrate(iterations int) int64 {
+	if iterations < 1 {
+		iterations = 1
+	}
+	best := int64(math.MaxInt64)
+	for i := 0; i < iterations; i++ {
+		start := time.Now()
+		calibrationWork()
+		if d := time.Since(start).Nanoseconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}

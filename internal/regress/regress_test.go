@@ -1,0 +1,217 @@
+package regress
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"lpmem"
+)
+
+func sampleSnapshot() Snapshot {
+	return Snapshot{
+		ID:         "E1",
+		Title:      "Address clustering",
+		PaperClaim: "avg -25%",
+		Summary:    "clustering saves 21.6%",
+		Header:     []string{"app", "saving"},
+		Rows:       [][]string{{"app-media", "21.60"}, {"app-net", "13.10"}},
+	}
+}
+
+// TestGoldenRoundTrip: write → list → read preserves every field.
+func TestGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleSnapshot()
+	if err := WriteGolden(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := GoldenIDs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "E1" {
+		t.Fatalf("golden IDs = %v", ids)
+	}
+	got, err := ReadGolden(dir, "E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := CompareSnapshot(want, got); len(ds) != 0 {
+		t.Fatalf("round trip drifted: %v", ds)
+	}
+	if got.Title != want.Title || got.PaperClaim != want.PaperClaim {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+}
+
+// TestGoldenIDsMissingDir: a first record starts from an empty state.
+func TestGoldenIDsMissingDir(t *testing.T) {
+	ids, err := GoldenIDs(t.TempDir() + "/nope")
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("missing dir: ids=%v err=%v", ids, err)
+	}
+}
+
+// TestCompareSnapshotDetectsEveryField: each kind of content drift is
+// reported with its own kind tag.
+func TestCompareSnapshotDetectsEveryField(t *testing.T) {
+	golden := sampleSnapshot()
+	if ds := CompareSnapshot(golden, sampleSnapshot()); len(ds) != 0 {
+		t.Fatalf("identical snapshots drifted: %v", ds)
+	}
+	cases := []struct {
+		kind   string
+		mutate func(*Snapshot)
+	}{
+		{"summary", func(s *Snapshot) { s.Summary = "different" }},
+		{"header", func(s *Snapshot) { s.Header[1] = "delta" }},
+		{"rows", func(s *Snapshot) { s.Rows[1][1] = "13.11" }},
+		{"rows", func(s *Snapshot) { s.Rows = s.Rows[:1] }},
+	}
+	for _, tc := range cases {
+		live := sampleSnapshot()
+		tc.mutate(&live)
+		ds := CompareSnapshot(golden, live)
+		if len(ds) == 0 {
+			t.Fatalf("%s mutation not detected", tc.kind)
+		}
+		if ds[0].Kind != tc.kind {
+			t.Fatalf("drift kind = %q, want %q (%s)", ds[0].Kind, tc.kind, ds[0].Detail)
+		}
+	}
+}
+
+// TestBaselineRoundTripAndOrder: Upsert keeps natural experiment order
+// (E2 before E10) and the file round-trips through disk.
+func TestBaselineRoundTripAndOrder(t *testing.T) {
+	b := &Baseline{Iterations: 3, TolerancePct: 25, CalibrationNS: 1000}
+	for _, id := range []string{"E10", "E2", "E1"} {
+		b.Upsert(ExperimentBaseline{ID: id, WallNS: 5, Allocs: 7, Headline: "h"})
+	}
+	b.Upsert(ExperimentBaseline{ID: "E2", WallNS: 9}) // replace, not duplicate
+	if len(b.Experiments) != 3 {
+		t.Fatalf("upsert duplicated: %+v", b.Experiments)
+	}
+	order := []string{"E1", "E2", "E10"}
+	for i, want := range order {
+		if b.Experiments[i].ID != want {
+			t.Fatalf("order[%d] = %s, want %s", i, b.Experiments[i].ID, want)
+		}
+	}
+	if e, ok := b.ByID("E2"); !ok || e.WallNS != 9 {
+		t.Fatalf("ByID after replace: %+v ok=%v", e, ok)
+	}
+
+	path := t.TempDir() + "/bench.json"
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || len(got.Experiments) != 3 || got.CalibrationNS != 1000 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+// TestReadBaselineRejectsWrongSchema: stale files fail loudly.
+func TestReadBaselineRejectsWrongSchema(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	if err := os.WriteFile(path, []byte(`{"schema":"lpmem-bench/0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+// TestCompareCost: slowdowns and alloc growth beyond tolerance fail;
+// speedups and within-tolerance noise pass; calibration scale shifts the
+// budget.
+func TestCompareCost(t *testing.T) {
+	base := ExperimentBaseline{ID: "E1", WallNS: 1_000_000_000, Allocs: 1_000_000}
+	tol := Tolerances{Pct: 25, WallFloorNS: 0, AllocFloor: 0}
+
+	ok := Measurement{ID: "E1", WallNS: 1_200_000_000, Allocs: 1_200_000}
+	if ds := CompareCost(base, ok, tol, 1); len(ds) != 0 {
+		t.Fatalf("within tolerance flagged: %v", ds)
+	}
+	fast := Measurement{ID: "E1", WallNS: 100, Allocs: 10}
+	if ds := CompareCost(base, fast, tol, 1); len(ds) != 0 {
+		t.Fatalf("speedup flagged: %v", ds)
+	}
+	slow := Measurement{ID: "E1", WallNS: 1_300_000_000, Allocs: 1_000_000}
+	ds := CompareCost(base, slow, tol, 1)
+	if len(ds) != 1 || ds[0].Kind != "timing" {
+		t.Fatalf("30%% slowdown not flagged as timing: %v", ds)
+	}
+	// The same wall time passes on a machine measured 2x slower.
+	if ds := CompareCost(base, slow, tol, 2); len(ds) != 0 {
+		t.Fatalf("scaled budget still flagged: %v", ds)
+	}
+	churn := Measurement{ID: "E1", WallNS: 1_000_000_000, Allocs: 2_000_000}
+	ds = CompareCost(base, churn, tol, 1)
+	if len(ds) != 1 || ds[0].Kind != "allocs" {
+		t.Fatalf("alloc churn not flagged: %v", ds)
+	}
+	// Floors forgive tiny absolute drift on tiny experiments.
+	tiny := ExperimentBaseline{ID: "E17", WallNS: 10_000, Allocs: 100}
+	noisy := Measurement{ID: "E17", WallNS: 5_000_000, Allocs: 5_000}
+	if ds := CompareCost(tiny, noisy, DefaultTolerances(), 1); len(ds) != 0 {
+		t.Fatalf("floor did not absorb jitter: %v", ds)
+	}
+}
+
+// TestScaleClamp: degenerate calibrations cannot disable the check.
+func TestScaleClamp(t *testing.T) {
+	cases := []struct {
+		rec, live int64
+		want      float64
+	}{
+		{100, 100, 1}, {100, 200, 2}, {100, 10_000, 4}, {10_000, 100, 0.25},
+		{0, 100, 1}, {100, 0, 1}, {-5, 7, 1},
+	}
+	for _, tc := range cases {
+		if got := Scale(tc.rec, tc.live); got != tc.want {
+			t.Fatalf("Scale(%d, %d) = %v, want %v", tc.rec, tc.live, got, tc.want)
+		}
+	}
+}
+
+// TestMeasureAll: measuring a cheap experiment through the real engine
+// yields a positive wall time, a populated snapshot, and honours the
+// no-cache contract.
+func TestMeasureAll(t *testing.T) {
+	exp, err := lpmem.ByID("E17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MeasureAll([]lpmem.Experiment{exp}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	m := ms[0]
+	if m.ID != "E17" || m.WallNS <= 0 {
+		t.Fatalf("measurement: %+v", m)
+	}
+	if m.Snapshot.Summary == "" || len(m.Snapshot.Header) == 0 || len(m.Snapshot.Rows) == 0 {
+		t.Fatalf("snapshot not captured: %+v", m.Snapshot)
+	}
+	if m.Snapshot.Title == "" || m.Snapshot.PaperClaim == "" {
+		t.Fatalf("snapshot metadata missing: %+v", m.Snapshot)
+	}
+}
+
+// TestCalibrate: the calibration loop is measurable and repeatable to
+// within the coarse bounds the scale clamp assumes.
+func TestCalibrate(t *testing.T) {
+	ns := Calibrate(2)
+	if ns <= 0 {
+		t.Fatalf("calibration measured %d ns", ns)
+	}
+}

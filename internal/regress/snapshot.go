@@ -1,0 +1,161 @@
+// Package regress is the regression harness behind cmd/lpmembench: it
+// pins every experiment's regenerated paper table to a committed golden
+// snapshot and every experiment's cost to a committed perf baseline, so
+// that a PR can only change either deliberately (by re-recording) and
+// never silently.
+//
+// Two artifact families make up a baseline:
+//
+//   - Golden snapshots, one JSON file per experiment under
+//     testdata/golden/, holding the exact table header, rows and headline
+//     summary. Comparison is exact: experiments are deterministic by
+//     contract (see the lpmemlint determinism analyzer and the root
+//     determinism test), so any byte of drift is a behaviour change.
+//
+//   - A perf baseline (BENCH_*.json at the repository root) holding
+//     per-experiment wall time, allocation counts and the headline metric.
+//     Comparison is tolerance-aware: wall times are scaled by a
+//     calibration loop run on both machines and accepted within a
+//     configurable ±%, so the check survives CI-runner speed differences
+//     while still catching real hot-path regressions.
+//
+// The harness measures through the real internal/runner engine with its
+// cache disabled, so a recorded number always reflects the full pipeline
+// a user would hit, never a cache artifact.
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Snapshot is the golden content of one experiment: everything a run
+// produces that is deterministic, and nothing (durations, cache state)
+// that is not.
+type Snapshot struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	PaperClaim string     `json:"paper_claim"`
+	Summary    string     `json:"summary"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+}
+
+// GoldenPath returns the golden file path for an experiment ID.
+func GoldenPath(dir, id string) string {
+	return filepath.Join(dir, id+".json")
+}
+
+// WriteGolden persists a snapshot to dir, creating dir if needed.
+func WriteGolden(dir string, s Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("regress: creating golden dir: %w", err)
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("regress: encoding golden %s: %w", s.ID, err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(GoldenPath(dir, s.ID), b, 0o644); err != nil {
+		return fmt.Errorf("regress: writing golden %s: %w", s.ID, err)
+	}
+	return nil
+}
+
+// ReadGolden loads one experiment's snapshot from dir.
+func ReadGolden(dir, id string) (Snapshot, error) {
+	var s Snapshot
+	b, err := os.ReadFile(GoldenPath(dir, id))
+	if err != nil {
+		return s, fmt.Errorf("regress: reading golden %s: %w", id, err)
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("regress: decoding golden %s: %w", id, err)
+	}
+	return s, nil
+}
+
+// GoldenIDs lists the experiment IDs that have golden files in dir,
+// sorted. A missing directory is reported as an empty list, so a first
+// `-record` run can start from nothing.
+func GoldenIDs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("regress: listing golden dir: %w", err)
+	}
+	var ids []string
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ".json"); ok && !e.IsDir() {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Drift is one detected divergence between the live tree and a committed
+// baseline artifact.
+type Drift struct {
+	// ID is the experiment the drift belongs to ("" for harness-level
+	// problems such as an unreadable baseline).
+	ID string `json:"id"`
+	// Kind classifies the drift: "summary", "header", "rows", "timing",
+	// "allocs", "missing-golden", "extra-golden", "missing-baseline",
+	// "extra-baseline", "error".
+	Kind string `json:"kind"`
+	// Detail is a human-readable description with the got/want values.
+	Detail string `json:"detail"`
+}
+
+func (d Drift) String() string {
+	id := d.ID
+	if id == "" {
+		id = "-"
+	}
+	return fmt.Sprintf("%-4s %-16s %s", id, d.Kind, d.Detail)
+}
+
+// CompareSnapshot diffs a live snapshot against its golden counterpart.
+// Tables and summaries are deterministic, so every comparison is exact.
+func CompareSnapshot(golden, live Snapshot) []Drift {
+	var ds []Drift
+	if golden.Summary != live.Summary {
+		ds = append(ds, Drift{ID: golden.ID, Kind: "summary",
+			Detail: fmt.Sprintf("got %q, want %q", live.Summary, golden.Summary)})
+	}
+	if !equalStrings(golden.Header, live.Header) {
+		ds = append(ds, Drift{ID: golden.ID, Kind: "header",
+			Detail: fmt.Sprintf("got %v, want %v", live.Header, golden.Header)})
+	}
+	if len(golden.Rows) != len(live.Rows) {
+		ds = append(ds, Drift{ID: golden.ID, Kind: "rows",
+			Detail: fmt.Sprintf("got %d rows, want %d", len(live.Rows), len(golden.Rows))})
+		return ds
+	}
+	for i := range golden.Rows {
+		if !equalStrings(golden.Rows[i], live.Rows[i]) {
+			ds = append(ds, Drift{ID: golden.ID, Kind: "rows",
+				Detail: fmt.Sprintf("row %d: got %v, want %v", i, live.Rows[i], golden.Rows[i])})
+		}
+	}
+	return ds
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,28 +1,92 @@
 #!/usr/bin/env bash
-# CI gate: formatting, vet, lpmemlint, build, and the full test suite under the race
-# detector — the race run is the correctness backstop for the concurrent
-# experiment runner (internal/runner) and the lpmemd HTTP service.
+# CI gate, split into individually callable stages so workflow failures
+# are attributable to one step and local iteration can run just what it
+# needs:
+#
+#   ./scripts/ci.sh                 # all = fmt vet lint build test
+#   ./scripts/ci.sh fmt vet         # any subset, in the order given
+#   ./scripts/ci.sh quick           # fmt vet lint build + tests WITHOUT -race
+#   ./scripts/ci.sh bench           # lpmembench -check against committed baselines
+#
+# The race run is the correctness backstop for the concurrent experiment
+# runner (internal/runner) and the lpmemd HTTP service; `quick` trades it
+# away for local edit-compile-test speed. `bench` is the regression gate:
+# it re-runs every experiment and compares tables against testdata/golden/
+# and costs against the committed BENCH file (see scripts/README.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$unformatted" >&2
-    exit 1
+BIN=bin
+mkdir -p "$BIN"
+
+stage_fmt() {
+    echo "== gofmt"
+    local unformatted
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
+}
+
+stage_vet() {
+    echo "== go vet"
+    go vet ./...
+}
+
+stage_lint() {
+    echo "== lpmemlint"
+    # Build once; `go run` would relink the analyzer on every invocation.
+    go build -o "$BIN/lpmemlint" ./cmd/lpmemlint
+    "$BIN/lpmemlint" ./...
+}
+
+stage_build() {
+    echo "== go build"
+    go build ./...
+}
+
+stage_test() {
+    echo "== go test -race"
+    go test -race ./...
+}
+
+stage_test_norace() {
+    echo "== go test (no race; quick mode)"
+    go test ./...
+}
+
+stage_bench() {
+    echo "== lpmembench -check"
+    go build -o "$BIN/lpmembench" ./cmd/lpmembench
+    # Keep the JSON report as a CI artifact; the exit code still gates.
+    "$BIN/lpmembench" -check -json -v | tee bench-check.json
+}
+
+run_stage() {
+    case "$1" in
+        fmt)   stage_fmt ;;
+        vet)   stage_vet ;;
+        lint)  stage_lint ;;
+        build) stage_build ;;
+        test)  stage_test ;;
+        bench) stage_bench ;;
+        quick) stage_fmt; stage_vet; stage_lint; stage_build; stage_test_norace ;;
+        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test ;;
+        *)
+            echo "usage: $0 [fmt|vet|lint|build|test|bench|quick|all] ..." >&2
+            exit 2
+            ;;
+    esac
+}
+
+if [ "$#" -eq 0 ]; then
+    run_stage all
+else
+    for stage in "$@"; do
+        run_stage "$stage"
+    done
 fi
-
-echo "== go vet"
-go vet ./...
-
-echo "== lpmemlint"
-go run ./cmd/lpmemlint ./...
-
-echo "== go build"
-go build ./...
-
-echo "== go test -race"
-go test -race ./...
 
 echo "CI OK"

@@ -49,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	case "run":
 		return runExperiments(args[1:], stdout, stderr)
+	case "chaos":
+		return runChaos(args[1:], stdout, stderr)
 	case "kernels":
 		for _, k := range workloads.All() {
 			inst := k.Build(1)
@@ -167,6 +169,7 @@ usage:
   lpmem list                      list experiments
   lpmem run [flags] all           run every experiment
   lpmem run [flags] E1 E7 ...     run selected experiments
+  lpmem chaos [flags] [ids|all]   fault-injection robustness sweep
   lpmem kernels                   list workload kernels
   lpmem trace <kernel> [seed]     dump a kernel memory trace
 
@@ -175,6 +178,15 @@ run flags:
   -json          emit JSON envelopes instead of text tables
   -timeout D     per-experiment deadline (e.g. 90s; default none)
 
-exit status: 0 on success, 1 if any experiment failed, 2 on usage errors.
+chaos flags:
+  -seed N        fault-plan seed (default 1); same seed, same faults
+  -plan KINDS    'all' or a comma list (delay,error,panic,corrupt,slowstart,cancel)
+  -rate R        fraction of experiments faulted (default 0.6)
+  -runs N        identical sweeps compared for determinism (default 2)
+  -retries N     per-experiment retry budget (default 2)
+  -json          emit sweep reports as JSON
+
+exit status: 0 on success, 1 if any experiment failed (run) or any
+robustness invariant was violated (chaos), 2 on usage errors.
 `)
 }

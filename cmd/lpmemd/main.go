@@ -4,15 +4,24 @@
 //
 // Usage:
 //
-//	lpmemd [-addr :8093] [-parallel N] [-timeout 2m]
+//	lpmemd [-addr :8093] [-parallel N] [-timeout 2m] [-retries 2]
+//	       [-breaker-threshold 3] [-breaker-cooldown 30s]
+//	       [-request-timeout 5m]
 //
 // Endpoints:
 //
 //	GET  /experiments        list the registry
 //	GET  /experiments/E7     run (or serve cached) one experiment
 //	POST /run?ids=E1,E7      run a batch in parallel ("all" = registry)
-//	GET  /metrics            engine + HTTP counters
-//	GET  /healthz            liveness probe
+//	GET  /metrics            engine + HTTP counters + breaker states
+//	GET  /healthz            health probe; 503 "degraded" while any
+//	                         experiment's circuit breaker is open
+//
+// Failed experiments degrade responses instead of killing them: batch
+// bodies carry a per-ID error envelope and a status of ok/partial/failed,
+// transient failures are retried with seeded backoff, and repeatedly
+// failing experiments trip a per-ID circuit breaker that fails fast
+// until its cooldown expires.
 //
 // The server drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
@@ -37,11 +46,20 @@ import (
 func main() {
 	addr := flag.String("addr", ":8093", "listen address")
 	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-experiment deadline (0 = none)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-experiment attempt deadline (0 = none)")
+	retries := flag.Int("retries", 2, "retry budget per experiment run (0 = no retries)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that open an experiment's circuit breaker (0 = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker fails fast before a probe")
+	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-HTTP-request run deadline (0 = none)")
 	flag.Parse()
 
-	eng := lpmem.NewEngine(runner.Options{Workers: *parallel, Timeout: *timeout})
-	api := httpapi.New(eng)
+	eng := lpmem.NewEngine(runner.Options{
+		Workers: *parallel, Timeout: *timeout,
+		Retries:          *retries,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
+	api := httpapi.New(eng, httpapi.WithRequestTimeout(*requestTimeout))
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api.Handler(),

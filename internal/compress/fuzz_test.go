@@ -1,0 +1,69 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDifferentialRoundTrip checks the codec is lossless for every
+// well-formed line: arbitrary bytes, truncated to the largest positive
+// multiple of four, must decompress back to the original exactly, and
+// the encoding must respect the codec's worst-case size bound.
+func FuzzDifferentialRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Add([]byte{0x10, 0, 0, 0, 0x11, 0, 0, 0, 0x12, 0, 0, 0, 0xfe, 0xca, 0xbe, 0xba})
+
+	var c Differential
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) &^ 3
+		if n == 0 {
+			return
+		}
+		line := data[:n]
+		enc := c.Compress(line)
+		words := n / 4
+		tagBytes := (2*(words-1) + 7) / 8
+		if len(enc) > tagBytes+n {
+			t.Fatalf("encoding of %d-byte line grew to %d bytes (bound %d)", n, len(enc), tagBytes+n)
+		}
+		dec, err := c.Decompress(enc, n)
+		if err != nil {
+			t.Fatalf("decompress of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(dec, line) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", line, dec)
+		}
+	})
+}
+
+// FuzzDecompress feeds arbitrary encodings and line sizes to the
+// decoder: it must either return a line of exactly lineSize bytes or an
+// error — never panic, never slice out of range.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{}, 4)
+	f.Add([]byte{0, 1, 2, 3, 4}, 8)
+	f.Add(Differential{}.Compress(bytes.Repeat([]byte{7}, 16)), 16)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff}, 16) // all tagFull, truncated payload
+	f.Add([]byte{0x55, 0, 0, 0, 0}, 12)             // all tagInt8, truncated payload
+
+	var c Differential
+	f.Fuzz(func(t *testing.T, enc []byte, lineSize int) {
+		if lineSize < 0 || lineSize > 1<<12 {
+			return // keep allocations bounded; geometry caps real lines far below this
+		}
+		dec, err := c.Decompress(enc, lineSize)
+		if err != nil {
+			return
+		}
+		if len(dec) != lineSize {
+			t.Fatalf("decoded %d bytes, want %d", len(dec), lineSize)
+		}
+		// A successfully decoded line must re-encode and round-trip.
+		again, err := c.Decompress(c.Compress(dec), lineSize)
+		if err != nil || !bytes.Equal(again, dec) {
+			t.Fatalf("re-encode round-trip broke: err=%v", err)
+		}
+	})
+}

@@ -3,9 +3,17 @@
 // from the engine cache when warm), parallel batch runs, and a metrics
 // snapshot. Responses are JSON; only net/http from the standard library
 // is used.
+//
+// The surface degrades gracefully rather than failing all-or-nothing:
+// batch responses carry a per-experiment error envelope for every
+// requested ID (status "partial" when some fail, HTTP 502 only when all
+// do), an optional request timeout bounds each run, and /healthz reports
+// "degraded" with HTTP 503 while any experiment's circuit breaker is
+// open.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -15,25 +23,56 @@ import (
 	"time"
 
 	"lpmem"
+	"lpmem/internal/runner"
 )
 
 // Server owns the engine and the registry snapshot it serves.
 type Server struct {
-	eng      *lpmem.Engine
-	exps     []lpmem.Experiment
-	byID     map[string]lpmem.Experiment
-	started  time.Time
-	requests atomic.Uint64
+	eng        *lpmem.Engine
+	exps       []lpmem.Experiment
+	byID       map[string]lpmem.Experiment
+	started    time.Time
+	requests   atomic.Uint64
+	reqTimeout time.Duration
 }
 
-// New creates a server around an engine, serving the full registry.
-func New(eng *lpmem.Engine) *Server {
-	exps := lpmem.Experiments()
-	byID := make(map[string]lpmem.Experiment, len(exps))
-	for _, e := range exps {
-		byID[e.ID] = e
+// Option customises a Server.
+type Option func(*Server)
+
+// WithRequestTimeout bounds each run request (single or batch): on
+// expiry, in-flight experiments are cancelled and reported per-ID in the
+// response envelope instead of hanging the connection. 0 means no bound.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
+// WithExperiments overrides the served registry. Fault-injection tests
+// use it to expose deliberately broken experiments; production callers
+// serve the default full registry.
+func WithExperiments(exps []lpmem.Experiment) Option {
+	return func(s *Server) { s.exps = exps }
+}
+
+// New creates a server around an engine, serving the full registry
+// unless an option narrows it.
+func New(eng *lpmem.Engine, opts ...Option) *Server {
+	s := &Server{eng: eng, exps: lpmem.Experiments(), started: time.Now()}
+	for _, opt := range opts {
+		opt(s)
 	}
-	return &Server{eng: eng, exps: exps, byID: byID, started: time.Now()}
+	s.byID = make(map[string]lpmem.Experiment, len(s.exps))
+	for _, e := range s.exps {
+		s.byID[e.ID] = e
+	}
+	return s
+}
+
+// runCtx derives the per-request run context from the configured bound.
+func (s *Server) runCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.reqTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 // Handler returns the route table:
@@ -49,10 +88,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments/{id}", s.handleOne)
 	mux.HandleFunc("POST /run", s.handleBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.count(mux)
+}
+
+// handleHealthz reflects the engine's circuit-breaker state: "ok" while
+// every breaker is closed, "degraded" (HTTP 503) while any experiment is
+// cooling down — load balancers can stop routing to a wedged instance
+// without the healthy experiments going dark.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	breakers := s.eng.BreakerStates()
+	if len(breakers) == 0 {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+		"status":   "degraded",
+		"breakers": breakers,
+	})
 }
 
 // count wraps the mux with the request counter.
@@ -95,7 +148,9 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id))
 		return
 	}
-	reports := lpmem.RunBatch(r.Context(), s.eng, []lpmem.Experiment{exp})
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
+	reports := lpmem.RunBatch(ctx, s.eng, []lpmem.Experiment{exp})
 	env := reports[0].JSON()
 	status := http.StatusOK
 	if env.Error != "" {
@@ -110,8 +165,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
 	start := time.Now()
-	reports := lpmem.RunBatch(r.Context(), s.eng, exps)
+	reports := lpmem.RunBatch(ctx, s.eng, exps)
 	envs := make([]lpmem.ResultJSON, len(reports))
 	failed := 0
 	for i, rep := range reports {
@@ -120,7 +177,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			failed++
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	// Failures degrade, they don't take the batch down: every requested
+	// ID gets its own envelope (value or error), the batch-level status
+	// summarises, and only a fully failed batch maps to an error code.
+	status, httpStatus := "ok", http.StatusOK
+	switch {
+	case failed == len(envs) && failed > 0:
+		status, httpStatus = "failed", http.StatusBadGateway
+	case failed > 0:
+		status = "partial"
+	}
+	writeJSON(w, httpStatus, map[string]interface{}{
+		"status":     status,
 		"count":      len(envs),
 		"failed":     failed,
 		"elapsed_ms": float64(time.Since(start)) / float64(time.Millisecond),
@@ -163,12 +231,13 @@ func (s *Server) resolve(ids string) ([]lpmem.Experiment, error) {
 
 // MetricsSnapshot is the /metrics response body.
 type MetricsSnapshot struct {
-	RegistryVersion string        `json:"registry_version"`
-	UptimeSeconds   float64       `json:"uptime_seconds"`
-	HTTPRequests    uint64        `json:"http_requests"`
-	Workers         int           `json:"workers"`
-	CacheEntries    int           `json:"cache_entries"`
-	Runner          lpmem.Metrics `json:"runner"`
+	RegistryVersion string                         `json:"registry_version"`
+	UptimeSeconds   float64                        `json:"uptime_seconds"`
+	HTTPRequests    uint64                         `json:"http_requests"`
+	Workers         int                            `json:"workers"`
+	CacheEntries    int                            `json:"cache_entries"`
+	Runner          lpmem.Metrics                  `json:"runner"`
+	Breakers        map[string]runner.BreakerState `json:"breakers,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -179,6 +248,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Workers:         s.eng.Workers(),
 		CacheEntries:    s.eng.CacheLen(),
 		Runner:          s.eng.Metrics(),
+		Breakers:        s.eng.BreakerStates(),
 	})
 }
 

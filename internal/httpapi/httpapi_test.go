@@ -10,10 +10,12 @@ import (
 
 	"lpmem"
 	"lpmem/internal/runner"
+	"lpmem/internal/testutil"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *lpmem.Engine) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	eng := lpmem.NewEngine(runner.Options{Workers: 2})
 	ts := httptest.NewServer(New(eng).Handler())
 	t.Cleanup(ts.Close)

@@ -12,7 +12,9 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -41,7 +43,10 @@ type Outcome[T any] struct {
 	Cached   bool
 }
 
-// PanicError is the structured error a recovered job panic becomes.
+// PanicError is the structured error a recovered job panic becomes. The
+// captured stack is part of the message so it survives every path that
+// flattens the error to a string (JSON envelopes, logs, CLI output) —
+// without it, a panicking experiment behind lpmemd is undebuggable.
 type PanicError struct {
 	ID    string
 	Value interface{}
@@ -49,8 +54,13 @@ type PanicError struct {
 }
 
 func (e *PanicError) Error() string {
-	return fmt.Sprintf("runner: job %s panicked: %v", e.ID, e.Value)
+	return fmt.Sprintf("runner: job %s panicked: %v\nstack:\n%s", e.ID, e.Value, e.Stack)
 }
+
+// ErrCircuitOpen is wrapped by fast-fail outcomes of jobs whose circuit
+// breaker is open: the job was not executed because its recent attempts
+// failed consecutively and the cooldown has not elapsed.
+var ErrCircuitOpen = errors.New("runner: circuit breaker open")
 
 // Options configure an Engine.
 type Options struct {
@@ -64,6 +74,46 @@ type Options struct {
 	// NoCache disables the result cache and in-flight deduplication;
 	// benchmarks and determinism tests use it to force re-execution.
 	NoCache bool
+
+	// Retries is the number of re-attempts after a failed execution.
+	// Each attempt gets its own Timeout window. A job is not retried
+	// once the batch context is cancelled. 0 disables retries.
+	Retries int
+	// RetryBaseDelay is the first backoff; it doubles per attempt.
+	// <= 0 defaults to 10ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff growth. <= 0 defaults to 1s.
+	RetryMaxDelay time.Duration
+	// RetrySeed seeds the backoff jitter. Jitter is derived from
+	// (seed, job ID, attempt), so a fixed seed yields a bit-identical
+	// retry schedule — chaos runs stay replayable.
+	RetrySeed int64
+
+	// BreakerThreshold opens a per-job-ID circuit breaker after this many
+	// consecutive execution failures; while open, runs of that ID fail
+	// fast with ErrCircuitOpen instead of executing. 0 disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a breaker stays open before a single
+	// half-open probe is allowed through. <= 0 defaults to 5s.
+	BreakerCooldown time.Duration
+}
+
+// BreakerState names the per-ID circuit state in snapshots.
+type BreakerState string
+
+// Breaker states: Closed admits work, Open fails fast, HalfOpen admits a
+// single probe after the cooldown.
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// breaker tracks consecutive failures for one job ID.
+type breaker struct {
+	state    BreakerState
+	fails    int
+	openedAt time.Time
 }
 
 // Metrics is a point-in-time snapshot of the engine's counters, shaped
@@ -77,6 +127,13 @@ type Metrics struct {
 	Cancelled   uint64 `json:"cancelled"`
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// Retries counts re-attempts after failed executions.
+	Retries uint64 `json:"retries"`
+	// BreakerOpens counts closed/half-open -> open transitions.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// BreakerFastFails counts jobs rejected by an open breaker without
+	// executing.
+	BreakerFastFails uint64 `json:"breaker_fast_fails"`
 	// WallNanos sums per-job execution wall time, so under a parallel
 	// batch it exceeds elapsed time by roughly the achieved speedup.
 	WallNanos int64 `json:"wall_nanos"`
@@ -97,11 +154,15 @@ type Engine[T any] struct {
 
 	submitted, executed, successes, failures atomic.Uint64
 	panics, cancelled, hits, misses          atomic.Uint64
+	retries, breakerOpens, breakerFastFails  atomic.Uint64
 	wall                                     atomic.Int64
 
 	mu       sync.Mutex
 	cache    map[string]T
 	inflight map[string]*flight[T]
+
+	bmu      sync.Mutex
+	breakers map[string]*breaker
 }
 
 // New creates an engine with the given options.
@@ -109,10 +170,22 @@ func New[T any](opts Options) *Engine[T] {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.Retries > 0 {
+		if opts.RetryBaseDelay <= 0 {
+			opts.RetryBaseDelay = 10 * time.Millisecond
+		}
+		if opts.RetryMaxDelay <= 0 {
+			opts.RetryMaxDelay = time.Second
+		}
+	}
+	if opts.BreakerThreshold > 0 && opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
 	return &Engine[T]{
 		opts:     opts,
 		cache:    make(map[string]T),
 		inflight: make(map[string]*flight[T]),
+		breakers: make(map[string]*breaker),
 	}
 }
 
@@ -144,16 +217,114 @@ func (e *Engine[T]) InvalidateCache() {
 // Metrics returns a snapshot of the counters.
 func (e *Engine[T]) Metrics() Metrics {
 	return Metrics{
-		Submitted:   e.submitted.Load(),
-		Executed:    e.executed.Load(),
-		Successes:   e.successes.Load(),
-		Failures:    e.failures.Load(),
-		Panics:      e.panics.Load(),
-		Cancelled:   e.cancelled.Load(),
-		CacheHits:   e.hits.Load(),
-		CacheMisses: e.misses.Load(),
-		WallNanos:   e.wall.Load(),
+		Submitted:        e.submitted.Load(),
+		Executed:         e.executed.Load(),
+		Successes:        e.successes.Load(),
+		Failures:         e.failures.Load(),
+		Panics:           e.panics.Load(),
+		Cancelled:        e.cancelled.Load(),
+		CacheHits:        e.hits.Load(),
+		CacheMisses:      e.misses.Load(),
+		Retries:          e.retries.Load(),
+		BreakerOpens:     e.breakerOpens.Load(),
+		BreakerFastFails: e.breakerFastFails.Load(),
+		WallNanos:        e.wall.Load(),
 	}
+}
+
+// BreakerStates snapshots every non-closed breaker, keyed by job ID. An
+// empty map means the engine is healthy; lpmemd's /healthz degrades on
+// any open entry.
+func (e *Engine[T]) BreakerStates() map[string]BreakerState {
+	out := make(map[string]BreakerState)
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	for id, b := range e.breakers {
+		if b.state != BreakerClosed {
+			out[id] = b.state
+		}
+	}
+	return out
+}
+
+// ResetBreakers force-closes every breaker (operational reset, e.g.
+// after the underlying fault is fixed without restarting lpmemd).
+func (e *Engine[T]) ResetBreakers() {
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	e.breakers = make(map[string]*breaker)
+}
+
+// breakerAllow reports whether a job with this ID may execute now. An
+// open breaker past its cooldown transitions to half-open and admits
+// exactly one probe; other callers keep failing fast until the probe
+// resolves the state.
+func (e *Engine[T]) breakerAllow(id string) bool {
+	if e.opts.BreakerThreshold <= 0 {
+		return true
+	}
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	b, ok := e.breakers[id]
+	if !ok {
+		return true
+	}
+	switch b.state {
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= e.opts.BreakerCooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		// A probe is already in flight.
+		return false
+	default:
+		return true
+	}
+}
+
+// breakerResult records an execution outcome for the ID's breaker.
+func (e *Engine[T]) breakerResult(id string, ok bool) {
+	if e.opts.BreakerThreshold <= 0 {
+		return
+	}
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	b := e.breakers[id]
+	if b == nil {
+		b = &breaker{state: BreakerClosed}
+		e.breakers[id] = b
+	}
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= e.opts.BreakerThreshold {
+		if b.state != BreakerOpen {
+			e.breakerOpens.Add(1)
+		}
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.fails = 0
+	}
+}
+
+// backoff computes the capped exponential retry delay with deterministic
+// jitter: the jitter factor in [0.5, 1.5) is derived from
+// (RetrySeed, job ID, attempt), not from a shared PRNG, so concurrent
+// batches cannot perturb each other's schedules.
+func (e *Engine[T]) backoff(id string, attempt int) time.Duration {
+	d := e.opts.RetryBaseDelay << uint(attempt-1)
+	if d <= 0 || d > e.opts.RetryMaxDelay {
+		d = e.opts.RetryMaxDelay
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", e.opts.RetrySeed, id, attempt)
+	jitter := 0.5 + float64(h.Sum64()%1024)/1024.0
+	return time.Duration(float64(d) * jitter)
 }
 
 // Run executes the batch on the pool and returns one outcome per job, in
@@ -233,19 +404,38 @@ func (e *Engine[T]) runOne(ctx context.Context, j Job[T]) Outcome[T] {
 		e.misses.Add(1)
 	}
 
-	jctx, cancel := ctx, context.CancelFunc(func() {})
-	if e.opts.Timeout > 0 {
-		jctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
-	}
-	defer cancel()
-
 	start := time.Now()
-	v, err := e.invoke(jctx, j)
+	var v T
+	var err error
+	if !e.breakerAllow(j.ID) {
+		e.breakerFastFails.Add(1)
+		err = fmt.Errorf("%w: job %s is cooling down", ErrCircuitOpen, j.ID)
+	} else {
+		// Each attempt gets a fresh deadline window; retries back off
+		// exponentially with seeded jitter and stop as soon as the batch
+		// context dies.
+		for attempt := 0; ; attempt++ {
+			jctx, cancel := ctx, context.CancelFunc(func() {})
+			if e.opts.Timeout > 0 {
+				jctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+			}
+			v, err = e.invoke(jctx, j)
+			cancel()
+			e.executed.Add(1)
+			if err == nil || attempt >= e.opts.Retries || ctx.Err() != nil {
+				break
+			}
+			e.retries.Add(1)
+			if sleepErr := sleepCtx(ctx, e.backoff(j.ID, attempt+1)); sleepErr != nil {
+				break
+			}
+		}
+		e.breakerResult(j.ID, err == nil)
+	}
 	d := time.Since(start)
-	e.executed.Add(1)
 	e.wall.Add(int64(d))
 	if err != nil {
-		if jctx.Err() != nil && err == jctx.Err() {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			e.cancelled.Add(1)
 		}
 		e.failures.Add(1)
@@ -264,6 +454,21 @@ func (e *Engine[T]) runOne(ctx context.Context, j Job[T]) Outcome[T] {
 		close(fl.done)
 	}
 	return Outcome[T]{ID: j.ID, Value: v, Err: err, Duration: d}
+}
+
+// sleepCtx waits for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // join waits for an identical in-flight job instead of re-executing it.

@@ -145,6 +145,27 @@ func (t *Table) ToRows() [][]string {
 	return rows
 }
 
+// NumRows returns the number of body rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumCols returns the number of header columns.
+func (t *Table) NumCols() int { return len(t.header) }
+
+// SetCell overwrites one body cell in place. It exists for fault-injection
+// harnesses that corrupt finished tables to exercise downstream
+// robustness; out-of-range coordinates are reported as an error rather
+// than panicking because harnesses drive them from random plans.
+func (t *Table) SetCell(row, col int, v string) error {
+	if row < 0 || row >= len(t.rows) {
+		return fmt.Errorf("stats: row %d out of range [0,%d)", row, len(t.rows))
+	}
+	if col < 0 || col >= len(t.rows[row]) {
+		return fmt.Errorf("stats: col %d out of range [0,%d)", col, len(t.rows[row]))
+	}
+	t.rows[row][col] = v
+	return nil
+}
+
 // MarshalJSON encodes the table as {"header": [...], "rows": [[...]]}.
 // Empty tables encode as empty arrays, never null.
 func (t *Table) MarshalJSON() ([]byte, error) {

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that any input ReadText accepts survives a
+// write/re-read round-trip bit-identically: parse → WriteText →
+// ReadText must reproduce the same access sequence, and WriteText
+// output must itself always be parseable. Inputs ReadText rejects are
+// fine; the parser just must not panic or hang.
+func FuzzReadText(f *testing.F) {
+	f.Add("R 10 4 ff\nW 20 2 1\nF 0 4 deadbeef\n")
+	f.Add("# comment\n\n  R 0 1 0  \n")
+	f.Add("W ffffffff 4 ffffffff\n")
+	f.Add("R 10 4\n")        // too few fields
+	f.Add("X 10 4 ff\n")     // unknown kind
+	f.Add("R zz 4 ff\n")     // bad hex
+	f.Add("R 10 400 ff\n")   // width overflows uint8
+	f.Add("R 100000000 4 0") // address overflows uint32
+
+	f.Fuzz(func(t *testing.T, input string) {
+		t1, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: only no-panic is required
+		}
+		var buf bytes.Buffer
+		if err := t1.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText on parsed trace: %v", err)
+		}
+		t2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-read of WriteText output: %v", err)
+		}
+		if len(t1.Accesses) != len(t2.Accesses) {
+			t.Fatalf("round-trip length %d -> %d", len(t1.Accesses), len(t2.Accesses))
+		}
+		for i := range t1.Accesses {
+			if t1.Accesses[i] != t2.Accesses[i] {
+				t.Fatalf("access %d changed: %+v -> %+v", i, t1.Accesses[i], t2.Accesses[i])
+			}
+		}
+	})
+}

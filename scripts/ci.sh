@@ -3,16 +3,23 @@
 # are attributable to one step and local iteration can run just what it
 # needs:
 #
-#   ./scripts/ci.sh                 # all = fmt vet lint build test
+#   ./scripts/ci.sh                 # all = fmt vet lint build test chaos fuzz
 #   ./scripts/ci.sh fmt vet         # any subset, in the order given
 #   ./scripts/ci.sh quick           # fmt vet lint build + tests WITHOUT -race
 #   ./scripts/ci.sh bench           # lpmembench -check against committed baselines
+#   ./scripts/ci.sh chaos           # seeded fault-injection sweep of the registry
+#   ./scripts/ci.sh fuzz            # short smoke of every native fuzz target
 #
 # The race run is the correctness backstop for the concurrent experiment
 # runner (internal/runner) and the lpmemd HTTP service; `quick` trades it
-# away for local edit-compile-test speed. `bench` is the regression gate:
-# it re-runs every experiment and compares tables against testdata/golden/
-# and costs against the committed BENCH file (see scripts/README.md).
+# (and the chaos/fuzz stages) away for local edit-compile-test speed.
+# `bench` is the regression gate: it re-runs every experiment and compares
+# tables against testdata/golden/ and costs against the committed BENCH
+# file (see scripts/README.md). `chaos` runs `lpmem chaos` under a fixed
+# seed so the robustness invariants (no deadlocks, no goroutine leaks,
+# well-formed partial reports, deterministic fault placement) gate every
+# change to the runner/service stack. `fuzz` runs each fuzz target for a
+# few seconds on top of its checked-in corpus — a smoke, not a campaign.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,6 +71,21 @@ stage_bench() {
     "$BIN/lpmembench" -check -json -v | tee bench-check.json
 }
 
+stage_chaos() {
+    echo "== lpmem chaos (seeded fault-injection sweep)"
+    go build -o "$BIN/lpmem" ./cmd/lpmem
+    "$BIN/lpmem" chaos -seed 1 -plan all
+}
+
+stage_fuzz() {
+    echo "== fuzz smoke"
+    # One target per invocation: go test only allows a single -fuzz
+    # pattern to actually fuzz at a time.
+    go test -run='^$' -fuzz='^FuzzReadText$' -fuzztime=10s ./internal/trace/
+    go test -run='^$' -fuzz='^FuzzDifferentialRoundTrip$' -fuzztime=10s ./internal/compress/
+    go test -run='^$' -fuzz='^FuzzDecompress$' -fuzztime=10s ./internal/compress/
+}
+
 run_stage() {
     case "$1" in
         fmt)   stage_fmt ;;
@@ -72,10 +94,12 @@ run_stage() {
         build) stage_build ;;
         test)  stage_test ;;
         bench) stage_bench ;;
+        chaos) stage_chaos ;;
+        fuzz)  stage_fuzz ;;
         quick) stage_fmt; stage_vet; stage_lint; stage_build; stage_test_norace ;;
-        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test ;;
+        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test; stage_chaos; stage_fuzz ;;
         *)
-            echo "usage: $0 [fmt|vet|lint|build|test|bench|quick|all] ..." >&2
+            echo "usage: $0 [fmt|vet|lint|build|test|bench|chaos|fuzz|quick|all] ..." >&2
             exit 2
             ;;
     esac

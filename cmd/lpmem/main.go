@@ -51,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runExperiments(args[1:], stdout, stderr)
 	case "chaos":
 		return runChaos(args[1:], stdout, stderr)
+	case "sweep":
+		return runSweep(args[1:], stdout, stderr)
 	case "kernels":
 		for _, k := range workloads.All() {
 			inst := k.Build(1)
@@ -170,6 +172,7 @@ usage:
   lpmem run [flags] all           run every experiment
   lpmem run [flags] E1 E7 ...     run selected experiments
   lpmem chaos [flags] [ids|all]   fault-injection robustness sweep
+  lpmem sweep [flags]             design-space exploration (Pareto frontiers)
   lpmem kernels                   list workload kernels
   lpmem trace <kernel> [seed]     dump a kernel memory trace
 
@@ -186,7 +189,18 @@ chaos flags:
   -retries N     per-experiment retry budget (default 2)
   -json          emit sweep reports as JSON
 
-exit status: 0 on success, 1 if any experiment failed (run) or any
-robustness invariant was violated (chaos), 2 on usage errors.
+sweep flags:
+  -space NAME    design space: banks, cache, bus, memhier (-list to enumerate)
+  -points N      Latin-hypercube sample size (default 0 = full grid)
+  -seed N        sampling seed (default 1)
+  -resume FILE   JSONL result store; reruns skip already-evaluated points
+  -pareto        print only the Pareto frontier table
+  -objectives L  frontier objectives (default energy_pj,latency,area)
+  -parallel N    worker-pool size; -batch N points per batch; -timeout D
+  -json          emit the sweep envelope as JSON; -v batch progress
+
+exit status: 0 on success, 1 if any experiment failed (run), any
+robustness invariant was violated (chaos), or any sweep point failed
+(sweep), 2 on usage errors.
 `)
 }

@@ -13,9 +13,17 @@
 //	GET  /experiments        list the registry
 //	GET  /experiments/E7     run (or serve cached) one experiment
 //	POST /run?ids=E1,E7      run a batch in parallel ("all" = registry)
+//	POST /sweeps             start a design-space sweep in the background
+//	GET  /sweeps             list accepted sweeps
+//	GET  /sweeps/spaces      list the sweepable design spaces
+//	GET  /sweeps/S1          sweep status + Pareto frontier when settled
 //	GET  /metrics            engine + HTTP counters + breaker states
 //	GET  /healthz            health probe; 503 "degraded" while any
 //	                         experiment's circuit breaker is open
+//
+// Sweeps run asynchronously on the same worker pool sizing and share an
+// in-memory result store, so re-submitting a space is incremental: only
+// never-evaluated points execute.
 //
 // Failed experiments degrade responses instead of killing them: batch
 // bodies carry a per-ID error envelope and a status of ok/partial/failed,

@@ -34,6 +34,7 @@ type Server struct {
 	started    time.Time
 	requests   atomic.Uint64
 	reqTimeout time.Duration
+	sweeps     *sweepManager
 }
 
 // Option customises a Server.
@@ -64,6 +65,7 @@ func New(eng *lpmem.Engine, opts ...Option) *Server {
 	for _, e := range s.exps {
 		s.byID[e.ID] = e
 	}
+	s.sweeps = newSweepManager(eng.Workers())
 	return s
 }
 
@@ -80,6 +82,10 @@ func (s *Server) runCtx(r *http.Request) (context.Context, context.CancelFunc) {
 //	GET  /experiments        registry listing
 //	GET  /experiments/{id}   run one experiment (cache-served when warm)
 //	POST /run?ids=E1,E7      parallel batch run ("all" or empty = registry)
+//	POST /sweeps             start a design-space sweep (202 + id)
+//	GET  /sweeps             list accepted sweeps
+//	GET  /sweeps/spaces      list the available design spaces
+//	GET  /sweeps/{id}        sweep status: running/ok/partial/failed + tables
 //	GET  /metrics            engine + HTTP counter snapshot
 //	GET  /healthz            liveness probe
 func (s *Server) Handler() http.Handler {
@@ -87,6 +93,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments", s.handleList)
 	mux.HandleFunc("GET /experiments/{id}", s.handleOne)
 	mux.HandleFunc("POST /run", s.handleBatch)
+	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /sweeps/spaces", s.handleSweepSpaces)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.count(mux)

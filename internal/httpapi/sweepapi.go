@@ -1,0 +1,288 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"lpmem/internal/stats"
+	"lpmem/internal/sweep"
+)
+
+// maxSweepPoints bounds one HTTP-submitted sweep. The built-in spaces
+// are all well under this; the cap exists so a hostile or buggy client
+// cannot wedge the pool with an unbounded request.
+const maxSweepPoints = 4096
+
+// sweepManager owns the asynchronous sweeps a server has accepted. All
+// sweeps share one in-memory store, so repeated sweeps of the same space
+// are incremental across requests exactly like `lpmem sweep -resume`.
+type sweepManager struct {
+	workers int
+
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*sweepJob
+	store *sweep.Store
+}
+
+// sweepJob tracks one accepted sweep through running → settled.
+type sweepJob struct {
+	mu sync.Mutex
+
+	id         string
+	space      string
+	objectives []string
+	// status is "running" until the executor returns, then the batch
+	// degradation vocabulary: "ok", "partial" (some points failed) or
+	// "failed" (all did, or the executor itself errored).
+	status string
+	err    string
+
+	total, done, evaluated, cached, failed int
+
+	frontier    *stats.Table
+	sensitivity *stats.Table
+	results     *stats.Table
+}
+
+func newSweepManager(workers int) *sweepManager {
+	// OpenStore("") cannot fail: memory-only stores touch no file.
+	store, _ := sweep.OpenStore("")
+	return &sweepManager{workers: workers, jobs: make(map[string]*sweepJob), store: store}
+}
+
+// sweepRequest is the POST /sweeps body.
+type sweepRequest struct {
+	// Space names the design space ("banks", "cache", "bus", "memhier").
+	Space string `json:"space"`
+	// Points > 0 Latin-hypercube samples that many points; 0 sweeps the
+	// full grid.
+	Points int `json:"points"`
+	// Seed drives sampling (default 1).
+	Seed int64 `json:"seed"`
+	// Objectives is a comma list for the frontier ("" = all three).
+	Objectives string `json:"objectives"`
+}
+
+// sweepStatus is the GET /sweeps/{id} (and POST /sweeps accept) body.
+type sweepStatus struct {
+	ID         string   `json:"id"`
+	Space      string   `json:"space"`
+	Status     string   `json:"status"`
+	Objectives []string `json:"objectives"`
+	Total      int      `json:"total"`
+	Done       int      `json:"done"`
+	Evaluated  int      `json:"evaluated"`
+	Cached     int      `json:"cached"`
+	Failed     int      `json:"failed"`
+	Error      string   `json:"error,omitempty"`
+	// Tables are present once the sweep settles.
+	Frontier    *stats.Table `json:"frontier,omitempty"`
+	Sensitivity *stats.Table `json:"sensitivity,omitempty"`
+	Results     *stats.Table `json:"results,omitempty"`
+}
+
+// snapshot captures the job under its lock.
+func (j *sweepJob) snapshot() sweepStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return sweepStatus{
+		ID: j.id, Space: j.space, Status: j.status, Objectives: j.objectives,
+		Total: j.total, Done: j.done, Evaluated: j.evaluated,
+		Cached: j.cached, Failed: j.failed, Error: j.err,
+		Frontier: j.frontier, Sensitivity: j.sensitivity, Results: j.results,
+	}
+}
+
+// start validates the request, enumerates the points, and launches the
+// executor in the background. It returns the accepted job or an error
+// suitable for a 400.
+func (m *sweepManager) start(req sweepRequest) (*sweepJob, error) {
+	ad, err := sweep.ByName(req.Space)
+	if err != nil {
+		return nil, err
+	}
+	objs, err := sweep.ParseObjectives(req.Objectives)
+	if err != nil {
+		return nil, err
+	}
+	sp := ad.Space()
+	var pts []sweep.Point
+	if req.Points > 0 {
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		pts, err = sp.Sample(req.Points, seed)
+	} else {
+		pts, err = sp.Grid()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) > maxSweepPoints {
+		return nil, fmt.Errorf("httpapi: sweep of %d points exceeds the %d-point cap; use \"points\" to sample", len(pts), maxSweepPoints)
+	}
+
+	m.mu.Lock()
+	m.seq++
+	job := &sweepJob{
+		id:     fmt.Sprintf("S%d", m.seq),
+		space:  ad.Name(),
+		status: "running", objectives: objs, total: len(pts),
+	}
+	m.jobs[job.id] = job
+	m.mu.Unlock()
+
+	go m.run(job, ad, sp, pts)
+	return job, nil
+}
+
+// run executes the sweep and settles the job. It deliberately uses a
+// background context: an accepted sweep outlives the request that
+// submitted it (that is the point of the async surface), and the shared
+// store keeps whatever a dying server managed to compute.
+func (m *sweepManager) run(job *sweepJob, ad sweep.Adapter, sp sweep.Space, pts []sweep.Point) {
+	res, err := sweep.Run(context.Background(), ad, pts, sweep.Config{
+		Workers: m.workers,
+		Store:   m.store,
+		OnProgress: func(p sweep.Progress) {
+			job.mu.Lock()
+			job.done, job.cached, job.failed = p.Done, p.Cached, p.Failed
+			job.mu.Unlock()
+		},
+	})
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if err != nil {
+		job.status, job.err = "failed", err.Error()
+		return
+	}
+	job.done = res.Total
+	job.evaluated, job.cached, job.failed = res.Evaluated, res.Cached, res.Failed
+	front := sweep.Frontier(res.Outcomes, job.objectives)
+	ft, ferr := sweep.FrontierTable(sp.Axes, front, job.objectives)
+	if ferr != nil {
+		job.status, job.err = "failed", ferr.Error()
+		return
+	}
+	job.frontier = ft
+	job.sensitivity = sweep.Sensitivity(sp.Axes, res.Outcomes)
+	job.results = sweep.ResultsTable(sp.Axes, res.Outcomes)
+	switch {
+	case res.Failed == res.Total && res.Total > 0:
+		job.status = "failed"
+	case res.Failed > 0:
+		job.status = "partial"
+	default:
+		job.status = "ok"
+	}
+}
+
+// get returns the job by ID.
+func (m *sweepManager) get(id string) (*sweepJob, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list snapshots every job, newest first.
+func (m *sweepManager) list() []sweepStatus {
+	m.mu.Lock()
+	jobs := make([]*sweepJob, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	seq := m.seq
+	m.mu.Unlock()
+	out := make([]sweepStatus, 0, len(jobs))
+	for i := seq; i >= 1 && len(out) < len(jobs); i-- {
+		for _, j := range jobs {
+			if j.id == fmt.Sprintf("S%d", i) {
+				s := j.snapshot()
+				// Listings stay light: tables are fetched per-ID.
+				s.Frontier, s.Sensitivity, s.Results = nil, nil, nil
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// handleSweepSubmit implements POST /sweeps: accept a design-space
+// sweep, start it in the background, and return 202 with its ID.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad sweep request: %v", err))
+		return
+	}
+	job, err := s.sweeps.start(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.snapshot())
+}
+
+// handleSweepList implements GET /sweeps.
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"sweeps": s.sweeps.list()})
+}
+
+// handleSweepGet implements GET /sweeps/{id}: the degradation envelope
+// for one sweep — 200 while running and for ok/partial results, 502 only
+// when the whole sweep failed, mirroring the batch-run contract.
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.sweeps.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown sweep %q", id))
+		return
+	}
+	snap := job.snapshot()
+	status := http.StatusOK
+	if snap.Status == "failed" {
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, snap)
+}
+
+// handleSweepSpaces implements GET /sweeps/spaces: the available design
+// spaces with their axes and grid sizes.
+func (s *Server) handleSweepSpaces(w http.ResponseWriter, r *http.Request) {
+	type axisInfo struct {
+		Name   string   `json:"name"`
+		Kind   string   `json:"kind"`
+		Min    float64  `json:"min,omitempty"`
+		Max    float64  `json:"max,omitempty"`
+		Values []string `json:"values,omitempty"`
+	}
+	type spaceInfo struct {
+		Name        string     `json:"name"`
+		Description string     `json:"description"`
+		GridPoints  int        `json:"grid_points"`
+		Axes        []axisInfo `json:"axes"`
+	}
+	var out []spaceInfo
+	for _, ad := range sweep.Adapters() {
+		sp := ad.Space()
+		info := spaceInfo{
+			Name: ad.Name(), Description: ad.Describe(), GridPoints: sp.GridSize(),
+		}
+		for _, a := range sp.Axes {
+			info.Axes = append(info.Axes, axisInfo{
+				Name: a.Name, Kind: a.Kind.String(), Min: a.Min, Max: a.Max, Values: a.Values,
+			})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"spaces": out})
+}

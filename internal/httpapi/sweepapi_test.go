@@ -1,0 +1,207 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tableJSON mirrors stats.Table's wire form (the Table type itself only
+// marshals).
+type tableJSON struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// sweepStatusJSON is the client-side view of the sweep envelope.
+type sweepStatusJSON struct {
+	ID         string     `json:"id"`
+	Space      string     `json:"space"`
+	Status     string     `json:"status"`
+	Objectives []string   `json:"objectives"`
+	Total      int        `json:"total"`
+	Done       int        `json:"done"`
+	Evaluated  int        `json:"evaluated"`
+	Cached     int        `json:"cached"`
+	Failed     int        `json:"failed"`
+	Error      string     `json:"error"`
+	Frontier   *tableJSON `json:"frontier"`
+	Sens       *tableJSON `json:"sensitivity"`
+	Results    *tableJSON `json:"results"`
+}
+
+// postSweep submits a sweep request body and decodes the response.
+func postSweep(t *testing.T, url, body string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Post(url+"/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	return resp.StatusCode
+}
+
+// waitSweep polls GET /sweeps/{id} until the job settles.
+func waitSweep(t *testing.T, url, id string) sweepStatusJSON {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var snap sweepStatusJSON
+		code := get(t, url+"/sweeps/"+id, &snap)
+		if snap.Status != "running" {
+			if code != http.StatusOK && snap.Status != "failed" {
+				t.Fatalf("settled sweep returned HTTP %d: %+v", code, snap)
+			}
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s did not settle: %+v", id, snap)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSweepSubmitAndFetch: POST /sweeps accepts a sampled sweep with 202,
+// GET /sweeps/{id} serves progress and, once settled, the frontier,
+// sensitivity and results tables.
+func TestSweepSubmitAndFetch(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var accepted sweepStatusJSON
+	code := postSweep(t, ts.URL, `{"space":"bus"}`, &accepted)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if accepted.ID == "" || accepted.Total == 0 {
+		t.Fatalf("accept envelope: %+v", accepted)
+	}
+
+	snap := waitSweep(t, ts.URL, accepted.ID)
+	if snap.Status != "ok" {
+		t.Fatalf("sweep settled %q (error %q)", snap.Status, snap.Error)
+	}
+	if snap.Evaluated != snap.Total || snap.Failed != 0 || snap.Done != snap.Total {
+		t.Fatalf("cold sweep counts: %+v", snap)
+	}
+	if snap.Frontier == nil || len(snap.Frontier.Rows) == 0 {
+		t.Fatal("settled sweep has no frontier")
+	}
+	if snap.Sens == nil || snap.Results == nil {
+		t.Fatal("settled sweep missing sensitivity/results tables")
+	}
+	if len(snap.Results.Rows) != snap.Total {
+		t.Fatalf("results table has %d rows, want %d", len(snap.Results.Rows), snap.Total)
+	}
+
+	// The shared store makes a re-submitted space incremental: the second
+	// sweep of the same space serves every point from cache, and its
+	// frontier matches the first byte-for-byte.
+	var again sweepStatusJSON
+	if code := postSweep(t, ts.URL, `{"space":"bus"}`, &again); code != http.StatusAccepted {
+		t.Fatalf("resubmit status %d", code)
+	}
+	snap2 := waitSweep(t, ts.URL, again.ID)
+	if snap2.Status != "ok" || snap2.Evaluated != 0 || snap2.Cached != snap2.Total {
+		t.Fatalf("incremental sweep: status=%q evaluated=%d cached=%d total=%d",
+			snap2.Status, snap2.Evaluated, snap2.Cached, snap2.Total)
+	}
+	f1, _ := json.Marshal(snap.Frontier)
+	f2, _ := json.Marshal(snap2.Frontier)
+	if string(f1) != string(f2) {
+		t.Fatal("frontier differs between cold and incremental sweep")
+	}
+
+	// Both sweeps show up in the listing, newest first, without tables.
+	var listing struct {
+		Sweeps []sweepStatusJSON `json:"sweeps"`
+	}
+	if code := get(t, ts.URL+"/sweeps", &listing); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if len(listing.Sweeps) != 2 || listing.Sweeps[0].ID != again.ID {
+		t.Fatalf("listing: %+v", listing.Sweeps)
+	}
+	if listing.Sweeps[0].Frontier != nil {
+		t.Fatal("listing must not carry the heavy tables")
+	}
+}
+
+// TestSweepSampledRequest: "points" samples instead of sweeping the grid.
+func TestSweepSampledRequest(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var accepted sweepStatusJSON
+	if code := postSweep(t, ts.URL, `{"space":"banks","points":10,"seed":3}`, &accepted); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if accepted.Total == 0 || accepted.Total > 10 {
+		t.Fatalf("sampled sweep total = %d, want 1..10", accepted.Total)
+	}
+	snap := waitSweep(t, ts.URL, accepted.ID)
+	if snap.Status != "ok" {
+		t.Fatalf("sampled sweep settled %q (error %q)", snap.Status, snap.Error)
+	}
+}
+
+// TestSweepBadRequests: malformed bodies, unknown spaces, unknown fields
+// and unknown objectives are 400s; unknown IDs are 404s.
+func TestSweepBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, body := range []string{
+		``,
+		`{`,
+		`{"space":"nope"}`,
+		`{"space":"bus","bogus":1}`,
+		`{"space":"bus","objectives":"nope"}`,
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := postSweep(t, ts.URL, body, &e); code != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d", body, code)
+		}
+		if e.Error == "" {
+			t.Fatalf("body %q: no error message", body)
+		}
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := get(t, ts.URL+"/sweeps/S99", &e); code != http.StatusNotFound {
+		t.Fatalf("unknown sweep status %d", code)
+	}
+}
+
+// TestSweepSpaces: the catalogue endpoint lists every registered space
+// with axes and grid sizes.
+func TestSweepSpaces(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var body struct {
+		Spaces []struct {
+			Name       string `json:"name"`
+			GridPoints int    `json:"grid_points"`
+			Axes       []struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+			} `json:"axes"`
+		} `json:"spaces"`
+	}
+	if code := get(t, ts.URL+"/sweeps/spaces", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	names := map[string]bool{}
+	for _, sp := range body.Spaces {
+		names[sp.Name] = true
+		if sp.GridPoints == 0 || len(sp.Axes) == 0 {
+			t.Fatalf("space %s: empty catalogue entry", sp.Name)
+		}
+	}
+	for _, want := range []string{"banks", "cache", "bus", "memhier"} {
+		if !names[want] {
+			t.Fatalf("catalogue misses %q: %v", want, names)
+		}
+	}
+}

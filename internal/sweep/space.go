@@ -1,0 +1,532 @@
+// Package sweep is the design-space exploration engine: every abstract in
+// the DATE'03 low-power track is the output of a parameter sweep — the
+// authors varied bank counts, cache geometries and bus encodings and
+// reported the best point — and this package turns the repository's fixed
+// experiment registry into that exploration tool.
+//
+// The pieces mirror the methodology of the papers:
+//
+//   - Space/Axis describe the design space: named int/float/enum axes with
+//     linear or logarithmic spacing, plus Constraint filters that remove
+//     illegal points (e.g. caches larger than the die budget).
+//   - Adapter exposes a sweepable substrate (bank partitioning, cache
+//     geometry, bus encoding, a two-level hierarchy) as Run(point) →
+//     Metrics, where Metrics carries the energy/latency/area triple every
+//     DATE'03 trade-off is plotted in.
+//   - Executor shards the point set into batches on the bounded runner
+//     pool and records every result in an append-only JSON-lines Store
+//     keyed by a content hash of the point, so a re-run — or a sweep
+//     killed halfway — resumes incrementally instead of recomputing.
+//   - Frontier/Sensitivity extract the exact Pareto-optimal subset and a
+//     per-axis spread summary, rendered through stats.Table so sweeps
+//     serialise through the same JSON envelope as the experiments.
+//
+// Everything is deterministic: sampling is seed-derived, points are
+// enumerated and reported in sorted order, and no wall-clock value enters
+// a result — the lpmemlint determinism analyzer and the golden-file
+// harness apply to sweeps exactly as they do to the registry.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AxisKind discriminates the three axis value domains.
+type AxisKind int
+
+// Axis kinds: integer ranges, real ranges, and enumerated categories.
+const (
+	IntAxis AxisKind = iota
+	FloatAxis
+	EnumAxis
+)
+
+// String names the kind for tables and JSON.
+func (k AxisKind) String() string {
+	switch k {
+	case IntAxis:
+		return "int"
+	case FloatAxis:
+		return "float"
+	case EnumAxis:
+		return "enum"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Axis is one named dimension of a design space.
+type Axis struct {
+	// Name identifies the axis in points, tables and constraints.
+	Name string
+	// Kind selects the value domain.
+	Kind AxisKind
+	// Min and Max bound numeric axes (inclusive).
+	Min, Max float64
+	// Steps is the grid resolution of a numeric axis: the number of
+	// samples placed across [Min, Max]. For IntAxis, 0 means every
+	// integer in the range; sampled values are rounded to integers and
+	// deduplicated. FloatAxis requires Steps >= 1.
+	Steps int
+	// Log spaces numeric samples geometrically instead of linearly
+	// (bank sizes, set counts and line sizes are power-of-two shaped).
+	// Requires Min > 0.
+	Log bool
+	// Values enumerates an EnumAxis, in canonical (reported) order.
+	Values []string
+}
+
+// validate checks the axis definition.
+func (a Axis) validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("sweep: axis with empty name")
+	}
+	switch a.Kind {
+	case EnumAxis:
+		if len(a.Values) == 0 {
+			return fmt.Errorf("sweep: enum axis %q has no values", a.Name)
+		}
+		seen := make(map[string]bool, len(a.Values))
+		for _, v := range a.Values {
+			if seen[v] {
+				return fmt.Errorf("sweep: enum axis %q repeats value %q", a.Name, v)
+			}
+			seen[v] = true
+		}
+	case IntAxis, FloatAxis:
+		if a.Max < a.Min {
+			return fmt.Errorf("sweep: axis %q has max %g < min %g", a.Name, a.Max, a.Min)
+		}
+		if a.Log && a.Min <= 0 {
+			return fmt.Errorf("sweep: log axis %q needs min > 0, got %g", a.Name, a.Min)
+		}
+		if a.Kind == FloatAxis && a.Steps < 1 {
+			return fmt.Errorf("sweep: float axis %q needs steps >= 1", a.Name)
+		}
+	default:
+		return fmt.Errorf("sweep: axis %q has unknown kind %d", a.Name, int(a.Kind))
+	}
+	return nil
+}
+
+// gridValues enumerates the axis' grid samples in ascending (enum:
+// declared) order.
+func (a Axis) gridValues() []Value {
+	switch a.Kind {
+	case EnumAxis:
+		out := make([]Value, len(a.Values))
+		for i, v := range a.Values {
+			out[i] = EnumValue(v)
+		}
+		return out
+	case IntAxis:
+		if a.Steps <= 0 {
+			lo, hi := int(math.Ceil(a.Min)), int(math.Floor(a.Max))
+			out := make([]Value, 0, hi-lo+1)
+			for v := lo; v <= hi; v++ {
+				out = append(out, IntValue(v))
+			}
+			return out
+		}
+		var out []Value
+		last := math.Inf(-1)
+		for i := 0; i < a.Steps; i++ {
+			v := math.Round(a.at(fraction(i, a.Steps)))
+			//lint:allow floatcompare both sides are math.Round outputs; exact compare deduplicates identical grid samples
+			if v != last {
+				out = append(out, IntValue(int(v)))
+				last = v
+			}
+		}
+		return out
+	default: // FloatAxis
+		out := make([]Value, a.Steps)
+		for i := 0; i < a.Steps; i++ {
+			out[i] = FloatValue(a.at(fraction(i, a.Steps)))
+		}
+		return out
+	}
+}
+
+// fraction maps sample i of n onto [0,1], hitting both endpoints.
+func fraction(i, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(i) / float64(n-1)
+}
+
+// at maps u in [0,1] onto the numeric range, linearly or geometrically.
+func (a Axis) at(u float64) float64 {
+	if a.Log {
+		return math.Exp(math.Log(a.Min) + u*(math.Log(a.Max)-math.Log(a.Min)))
+	}
+	return a.Min + u*(a.Max-a.Min)
+}
+
+// value snaps u in [0,1) to an axis value (Latin-hypercube sampling).
+func (a Axis) value(u float64) Value {
+	switch a.Kind {
+	case EnumAxis:
+		i := int(u * float64(len(a.Values)))
+		if i >= len(a.Values) {
+			i = len(a.Values) - 1
+		}
+		return EnumValue(a.Values[i])
+	case IntAxis:
+		// A stepped int axis is a discrete grid (typically powers of
+		// two); samples snap to its values so substrate validity (e.g.
+		// power-of-two set counts) is preserved under sampling.
+		if a.Steps > 0 {
+			vals := a.gridValues()
+			i := int(u * float64(len(vals)))
+			if i >= len(vals) {
+				i = len(vals) - 1
+			}
+			return vals[i]
+		}
+		v := int(math.Round(a.at(u)))
+		if float64(v) < a.Min {
+			v = int(math.Ceil(a.Min))
+		}
+		if float64(v) > a.Max {
+			v = int(math.Floor(a.Max))
+		}
+		return IntValue(v)
+	default:
+		return FloatValue(a.at(u))
+	}
+}
+
+// Value is one coordinate of a point: a number or an enum label.
+type Value struct {
+	num  float64
+	str  string
+	enum bool
+}
+
+// IntValue makes an integer coordinate.
+func IntValue(v int) Value { return Value{num: float64(v)} }
+
+// FloatValue makes a real coordinate.
+func FloatValue(v float64) Value { return Value{num: v} }
+
+// EnumValue makes a categorical coordinate.
+func EnumValue(v string) Value { return Value{str: v, enum: true} }
+
+// IsEnum reports whether the coordinate is categorical.
+func (v Value) IsEnum() bool { return v.enum }
+
+// Float returns the numeric coordinate (0 for enums).
+func (v Value) Float() float64 { return v.num }
+
+// Int returns the numeric coordinate rounded to an integer.
+func (v Value) Int() int { return int(math.Round(v.num)) }
+
+// String returns the canonical text form: the enum label, or the
+// shortest exact decimal of the number. This form is what point hashes,
+// store records and tables are built from, so it must stay stable.
+func (v Value) String() string {
+	if v.enum {
+		return v.str
+	}
+	return strconv.FormatFloat(v.num, 'g', -1, 64)
+}
+
+// ParseValue reconstructs a Value from its canonical text form under the
+// given axis (store records round-trip through this).
+func ParseValue(a Axis, s string) (Value, error) {
+	if a.Kind == EnumAxis {
+		for _, v := range a.Values {
+			if v == s {
+				return EnumValue(s), nil
+			}
+		}
+		return Value{}, fmt.Errorf("sweep: %q is not a value of enum axis %q", s, a.Name)
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("sweep: axis %q: bad numeric value %q: %w", a.Name, s, err)
+	}
+	return Value{num: f}, nil
+}
+
+// Point is one design-space coordinate assignment, keyed by axis name.
+type Point map[string]Value
+
+// Int returns the named coordinate as an integer (0 when absent; the
+// executor validates points against the adapter's space before running,
+// so adapters may use the plain accessors).
+func (p Point) Int(name string) int { return p[name].Int() }
+
+// Float returns the named coordinate as a float (0 when absent).
+func (p Point) Float(name string) float64 { return p[name].Float() }
+
+// Enum returns the named categorical coordinate ("" when absent).
+func (p Point) Enum(name string) string {
+	v := p[name]
+	if !v.enum {
+		return ""
+	}
+	return v.str
+}
+
+// Clone returns an independent copy of the point.
+func (p Point) Clone() Point {
+	out := make(Point, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Canonical renders the point as "axis=value|..." with axes sorted by
+// name — the stable identity that point hashes are computed over.
+func (p Point) Canonical() string {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(p[n].String())
+	}
+	return b.String()
+}
+
+// Key content-addresses the point for the result store: the adapter name
+// and version pin the code that produced the metrics (same spirit as the
+// engine's CacheKey), and the FNV-64a of the canonical form identifies
+// the coordinates.
+func Key(adapter, version string, p Point) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s@%s|%s", adapter, version, p.Canonical())
+	return fmt.Sprintf("%s@%s:%016x", adapter, version, h.Sum64())
+}
+
+// Constraint removes illegal points from a space. Allow reports whether
+// the point is legal; Name documents the rule in listings.
+type Constraint struct {
+	Name  string
+	Allow func(Point) bool
+}
+
+// Space is a named set of axes plus the constraints that carve out the
+// legal region.
+type Space struct {
+	Axes        []Axis
+	Constraints []Constraint
+}
+
+// Validate checks every axis and constraint definition.
+func (s Space) Validate() error {
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("sweep: space has no axes")
+	}
+	seen := make(map[string]bool, len(s.Axes))
+	for _, a := range s.Axes {
+		if err := a.validate(); err != nil {
+			return err
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("sweep: duplicate axis %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, c := range s.Constraints {
+		if c.Allow == nil {
+			return fmt.Errorf("sweep: constraint %q has no Allow func", c.Name)
+		}
+	}
+	return nil
+}
+
+// Axis returns the named axis.
+func (s Space) Axis(name string) (Axis, bool) {
+	for _, a := range s.Axes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Axis{}, false
+}
+
+// Contains checks that the point assigns exactly the space's axes with
+// in-domain values and satisfies every constraint.
+func (s Space) Contains(p Point) error {
+	if len(p) != len(s.Axes) {
+		return fmt.Errorf("sweep: point %q assigns %d axes, space has %d", p.Canonical(), len(p), len(s.Axes))
+	}
+	for _, a := range s.Axes {
+		v, ok := p[a.Name]
+		if !ok {
+			return fmt.Errorf("sweep: point %q misses axis %q", p.Canonical(), a.Name)
+		}
+		switch a.Kind {
+		case EnumAxis:
+			if _, err := ParseValue(a, v.String()); err != nil {
+				return err
+			}
+		default:
+			if v.enum {
+				return fmt.Errorf("sweep: axis %q: enum value %q on numeric axis", a.Name, v.str)
+			}
+			if v.num < a.Min || v.num > a.Max {
+				return fmt.Errorf("sweep: axis %q: value %g outside [%g,%g]", a.Name, v.num, a.Min, a.Max)
+			}
+		}
+	}
+	if !s.allowed(p) {
+		return fmt.Errorf("sweep: point %q violates a space constraint", p.Canonical())
+	}
+	return nil
+}
+
+// allowed applies every constraint.
+func (s Space) allowed(p Point) bool {
+	for _, c := range s.Constraints {
+		if !c.Allow(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// GridSize returns the raw cartesian grid cardinality, before
+// constraints.
+func (s Space) GridSize() int {
+	n := 1
+	for _, a := range s.Axes {
+		n *= len(a.gridValues())
+	}
+	return n
+}
+
+// Grid enumerates the full cartesian grid in sorted point order (axes in
+// declared order, values ascending), with constrained points removed.
+func (s Space) Grid() ([]Point, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	values := make([][]Value, len(s.Axes))
+	for i, a := range s.Axes {
+		values[i] = a.gridValues()
+	}
+	var out []Point
+	idx := make([]int, len(s.Axes))
+	for {
+		p := make(Point, len(s.Axes))
+		for i, a := range s.Axes {
+			p[a.Name] = values[i][idx[i]]
+		}
+		if s.allowed(p) {
+			out = append(out, p)
+		}
+		// Odometer increment, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(values[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// Sample draws up to n points by Latin-hypercube sampling: each axis is
+// cut into n strata, a seeded permutation pairs strata across axes, and
+// one point is placed per stratum tuple. Every decision derives from
+// (seed, axis name, stratum), never from map order or scheduling, so a
+// fixed seed reproduces the point set exactly. Constrained and duplicate
+// points (integer/enum snapping collapses strata) are dropped, so fewer
+// than n points may return.
+func (s Space) Sample(n int, seed int64) ([]Point, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sweep: sample size %d must be positive", n)
+	}
+	perms := make([][]int, len(s.Axes))
+	jitter := make([]*rand.Rand, len(s.Axes))
+	for i, a := range s.Axes {
+		perms[i] = axisRand(seed, a.Name, "perm").Perm(n)
+		jitter[i] = axisRand(seed, a.Name, "jitter")
+	}
+	seen := make(map[string]bool, n)
+	var out []Point
+	for k := 0; k < n; k++ {
+		p := make(Point, len(s.Axes))
+		for i, a := range s.Axes {
+			u := (float64(perms[i][k]) + jitter[i].Float64()) / float64(n)
+			p[a.Name] = a.value(u)
+		}
+		c := p.Canonical()
+		if seen[c] || !s.allowed(p) {
+			continue
+		}
+		seen[c] = true
+		out = append(out, p)
+	}
+	SortPoints(s.Axes, out)
+	return out, nil
+}
+
+// axisRand derives a PRNG from (seed, axis, role) so sampling decisions
+// are independent of evaluation order — the same construction the fault
+// injector uses for placement.
+func axisRand(seed int64, axis, role string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", seed, axis, role)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// SortPoints orders points by axis value in declared axis order: numeric
+// axes numerically, enum axes by declaration index. The executor and
+// every report iterate points in this order, which is what makes sweep
+// output byte-reproducible.
+func SortPoints(axes []Axis, pts []Point) {
+	rank := make(map[string]map[string]int, len(axes))
+	for _, a := range axes {
+		if a.Kind == EnumAxis {
+			m := make(map[string]int, len(a.Values))
+			for i, v := range a.Values {
+				m[v] = i
+			}
+			rank[a.Name] = m
+		}
+	}
+	sort.SliceStable(pts, func(i, j int) bool {
+		for _, a := range axes {
+			vi, vj := pts[i][a.Name], pts[j][a.Name]
+			if a.Kind == EnumAxis {
+				ri, rj := rank[a.Name][vi.str], rank[a.Name][vj.str]
+				if ri != rj {
+					return ri < rj
+				}
+				continue
+			}
+			//lint:allow floatcompare tie-break on the next axis requires exact equality; both values come from the same enumeration
+			if vi.num != vj.num {
+				return vi.num < vj.num
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,194 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Record is one persisted point evaluation. Point coordinates are stored
+// in their canonical text form so records survive axis-type refactors
+// and stay human-greppable in the JSONL file.
+type Record struct {
+	// Key is the content address: adapter @ StoreVersion : FNV of the
+	// canonical point (see Key).
+	Key string `json:"key"`
+	// Adapter names the substrate that produced the metrics.
+	Adapter string `json:"adapter"`
+	// Point maps axis name to the coordinate's canonical text form.
+	Point map[string]string `json:"point"`
+	// Metrics is the evaluated objective triple.
+	Metrics Metrics `json:"metrics"`
+}
+
+// Store is the persistent result cache that makes sweeps incremental: an
+// append-only JSON-lines file keyed by point content hash. Re-running a
+// sweep against a warm store executes only the missing points; a sweep
+// killed mid-flight resumes from whatever was flushed. A Store with an
+// empty path is memory-only (used by the HTTP service and tests).
+//
+// The format is one JSON object per line. Loading tolerates a torn final
+// line — the footprint of a killed process — and, defensively, skips any
+// other unparseable line rather than refusing the whole file: every
+// intact record is still worth not recomputing.
+type Store struct {
+	path string
+
+	mu      sync.Mutex
+	recs    map[string]Record
+	order   []string // insertion order, for deterministic dumps
+	f       *os.File
+	w       *bufio.Writer
+	skipped int
+	// needSep is set when the existing file does not end in a newline
+	// (torn tail); the next append must start on a fresh line.
+	needSep bool
+}
+
+// OpenStore loads (creating if needed) the JSONL store at path, or
+// returns a memory-only store when path is empty.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, recs: make(map[string]Record)}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open store: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("sweep: read store: %w", err)
+	}
+	start := 0
+	for i := 0; i <= len(data); i++ {
+		if i < len(data) && data[i] != '\n' {
+			continue
+		}
+		line := data[start:i]
+		start = i + 1
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			s.skipped++
+			continue
+		}
+		if _, dup := s.recs[rec.Key]; !dup {
+			s.order = append(s.order, rec.Key)
+		}
+		s.recs[rec.Key] = rec
+	}
+	s.needSep = len(data) > 0 && data[len(data)-1] != '\n'
+	if _, err := f.Seek(0, 2); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("sweep: seek store: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// Path returns the backing file path ("" for memory-only stores).
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of records held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Skipped reports how many unparseable lines the load dropped (0 on a
+// healthy file; at most the torn tail of a killed sweep).
+func (s *Store) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
+
+// Get returns the record for key, if present.
+func (s *Store) Get(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[key]
+	return rec, ok
+}
+
+// Put inserts (or overwrites) a record and appends it to the backing
+// file. The line is flushed to the OS immediately so a killed process
+// loses at most the record being written.
+func (s *Store) Put(rec Record) error {
+	if rec.Key == "" {
+		return fmt.Errorf("sweep: record with empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.recs[rec.Key]; !dup {
+		s.order = append(s.order, rec.Key)
+	}
+	s.recs[rec.Key] = rec
+	if s.f == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: encode record: %w", err)
+	}
+	if s.needSep {
+		if err := s.w.WriteByte('\n'); err != nil {
+			return fmt.Errorf("sweep: write store: %w", err)
+		}
+		s.needSep = false
+	}
+	if _, err := s.w.Write(line); err != nil {
+		return fmt.Errorf("sweep: write store: %w", err)
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("sweep: write store: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("sweep: flush store: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the backing file. The in-memory view stays
+// readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	var first error
+	if err := s.w.Flush(); err != nil {
+		first = err
+	}
+	if err := s.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	s.f, s.w = nil, nil
+	if first != nil {
+		return fmt.Errorf("sweep: close store: %w", first)
+	}
+	return nil
+}
+
+// RecordFor builds the persisted form of one evaluated point.
+func RecordFor(adapter string, p Point, m Metrics) Record {
+	coords := make(map[string]string, len(p))
+	for name, v := range p {
+		coords[name] = v.String()
+	}
+	return Record{
+		Key:     Key(adapter, StoreVersion, p),
+		Adapter: adapter,
+		Point:   coords,
+		Metrics: m,
+	}
+}

@@ -3,12 +3,13 @@
 # are attributable to one step and local iteration can run just what it
 # needs:
 #
-#   ./scripts/ci.sh                 # all = fmt vet lint build test chaos fuzz
+#   ./scripts/ci.sh                 # all = fmt vet lint build test chaos fuzz sweep
 #   ./scripts/ci.sh fmt vet         # any subset, in the order given
 #   ./scripts/ci.sh quick           # fmt vet lint build + tests WITHOUT -race
 #   ./scripts/ci.sh bench           # lpmembench -check against committed baselines
 #   ./scripts/ci.sh chaos           # seeded fault-injection sweep of the registry
 #   ./scripts/ci.sh fuzz            # short smoke of every native fuzz target
+#   ./scripts/ci.sh sweep           # design-space sweep resume/determinism gate
 #
 # The race run is the correctness backstop for the concurrent experiment
 # runner (internal/runner) and the lpmemd HTTP service; `quick` trades it
@@ -20,11 +21,24 @@
 # well-formed partial reports, deterministic fault placement) gate every
 # change to the runner/service stack. `fuzz` runs each fuzz target for a
 # few seconds on top of its checked-in corpus — a smoke, not a campaign.
+# `sweep` runs the full banks design-space sweep twice against one result
+# store and fails unless the second run re-executes zero points and prints
+# a byte-identical Pareto frontier — the incremental-sweep contract.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BIN=bin
 mkdir -p "$BIN"
+
+# Leave the tree as we found it: helper binaries and the bench report are
+# build products, not sources. CI jobs that upload them as artifacts set
+# KEEP_ARTIFACTS=1 to skip the cleanup.
+cleanup() {
+    if [ "${KEEP_ARTIFACTS:-0}" != "1" ]; then
+        rm -rf "$BIN" bench-check.json
+    fi
+}
+trap cleanup EXIT
 
 stage_fmt() {
     echo "== gofmt"
@@ -86,6 +100,31 @@ stage_fuzz() {
     go test -run='^$' -fuzz='^FuzzDecompress$' -fuzztime=10s ./internal/compress/
 }
 
+stage_sweep() {
+    echo "== lpmem sweep (resume determinism gate)"
+    go build -o "$BIN/lpmem" ./cmd/lpmem
+    local dir
+    dir=$(mktemp -d)
+    # Cold run populates the store; the resumed run must re-execute
+    # nothing and reproduce the frontier byte-for-byte.
+    "$BIN/lpmem" sweep -space banks -resume "$dir/store.jsonl" -pareto \
+        >"$dir/front1.txt" 2>"$dir/sum1.txt"
+    "$BIN/lpmem" sweep -space banks -resume "$dir/store.jsonl" -pareto \
+        >"$dir/front2.txt" 2>"$dir/sum2.txt"
+    cat "$dir/sum1.txt" "$dir/sum2.txt"
+    if ! grep -q "evaluated 0," "$dir/sum2.txt"; then
+        echo "sweep resume re-executed points" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+    if ! diff -u "$dir/front1.txt" "$dir/front2.txt"; then
+        echo "sweep frontier not byte-identical across resume" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+    rm -rf "$dir"
+}
+
 run_stage() {
     case "$1" in
         fmt)   stage_fmt ;;
@@ -96,10 +135,11 @@ run_stage() {
         bench) stage_bench ;;
         chaos) stage_chaos ;;
         fuzz)  stage_fuzz ;;
+        sweep) stage_sweep ;;
         quick) stage_fmt; stage_vet; stage_lint; stage_build; stage_test_norace ;;
-        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test; stage_chaos; stage_fuzz ;;
+        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test; stage_chaos; stage_fuzz; stage_sweep ;;
         *)
-            echo "usage: $0 [fmt|vet|lint|build|test|bench|chaos|fuzz|quick|all] ..." >&2
+            echo "usage: $0 [fmt|vet|lint|build|test|bench|chaos|fuzz|sweep|quick|all] ..." >&2
             exit 2
             ;;
     esac

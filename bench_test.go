@@ -146,6 +146,15 @@ func BenchmarkE19CacheDesign(b *testing.B) { benchExperiment(b, "E19") }
 // BenchmarkE20Checkpointing regenerates DATE'03 9E.3's fault-tolerance table.
 func BenchmarkE20Checkpointing(b *testing.B) { benchExperiment(b, "E20") }
 
+// BenchmarkE21CellTypes regenerates the cell-type energy inversion table.
+func BenchmarkE21CellTypes(b *testing.B) { benchExperiment(b, "E21") }
+
+// BenchmarkE22PowerGating regenerates the gating break-even table.
+func BenchmarkE22PowerGating(b *testing.B) { benchExperiment(b, "E22") }
+
+// BenchmarkE23DRAMBanking regenerates the DRAM row-buffer locality table.
+func BenchmarkE23DRAMBanking(b *testing.B) { benchExperiment(b, "E23") }
+
 // TestAllExperimentsRun is the integration test: every experiment in the
 // registry must run to completion and produce a non-empty table and a
 // summary mentioning the paper.

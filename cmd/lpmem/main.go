@@ -190,7 +190,7 @@ chaos flags:
   -json          emit sweep reports as JSON
 
 sweep flags:
-  -space NAME    design space: banks, cache, bus, memhier (-list to enumerate)
+  -space NAME    design space: banks, cache, bus, memhier, memtech (-list to enumerate)
   -points N      Latin-hypercube sample size (default 0 = full grid)
   -seed N        sampling seed (default 1)
   -resume FILE   JSONL result store; reruns skip already-evaluated points

@@ -155,6 +155,24 @@ func Experiments() []Experiment {
 			PaperClaim: "lower power and higher timely-completion likelihood under faults (9E.3)",
 			Run:        runE20,
 		},
+		{
+			ID:         "E21",
+			Title:      "SRAM cell-type energy under leakage-dominated scaling",
+			PaperClaim: "leakage dominates scaled nodes; low-standby cells invert the energy ranking (arXiv 1805.09127)",
+			Run:        runE21,
+		},
+		{
+			ID:         "E22",
+			Title:      "Power-gating break-even vs idle-interval distribution",
+			PaperClaim: "gating pays only past a wake-cost break-even idle interval (CACTI power-gating modes)",
+			Run:        runE22,
+		},
+		{
+			ID:         "E23",
+			Title:      "DRAM row-buffer locality vs bank count",
+			PaperClaim: "banking converts row conflicts to open-row hits at standby-power cost (arXiv 1805.09127)",
+			Run:        runE23,
+		},
 	}
 }
 

@@ -65,11 +65,51 @@ func DefaultMemoryModel() MemoryModel {
 	}
 }
 
-// sizeTerm returns the capacity-dependent energy component.
+// DefaultSizeExp is the capacity exponent substituted when a model is
+// used with SizeExp left at its zero value. It exists only to keep
+// hand-rolled literal models (tests, examples) physically shaped; any
+// model that reaches a consumer through Validate must set SizeExp
+// explicitly, because Validate rejects the zero value.
+const DefaultSizeExp = 0.7
+
+// Validate reports whether the model's parameters are usable: every
+// field must be a positive, finite number. The zero value of any field
+// is rejected — in particular a zero SizeExp, which sizeTerm would
+// otherwise silently replace with DefaultSizeExp. Model consumers
+// (partition.Optimal, stackmem.Simulate, memtech.New) call this before
+// pricing anything, so a half-initialised model fails loudly instead of
+// producing plausible-but-wrong tables.
+func (m MemoryModel) Validate() error {
+	fields := []struct {
+		name string
+		v    float64
+	}{
+		{"ReadE0", float64(m.ReadE0)},
+		{"WriteE0", float64(m.WriteE0)},
+		{"KSize", float64(m.KSize)},
+		{"SizeExp", m.SizeExp},
+		{"WritePenalty", m.WritePenalty},
+		{"LeakPerByteCycle", float64(m.LeakPerByteCycle)},
+		{"DecoderE", float64(m.DecoderE)},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("energy: MemoryModel.%s is %v; want a finite positive value", f.name, f.v)
+		}
+		if f.v <= 0 {
+			return fmt.Errorf("energy: MemoryModel.%s = %v; zero or negative fields are rejected (a zero-value model is not usable — start from DefaultMemoryModel)", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// sizeTerm returns the capacity-dependent energy component. The
+// DefaultSizeExp substitution below is the documented escape hatch for
+// unvalidated literal models only; validated consumers never hit it.
 func (m MemoryModel) sizeTerm(size uint32) PJ {
 	exp := m.SizeExp
 	if exp == 0 {
-		exp = 0.7
+		exp = DefaultSizeExp
 	}
 	return m.KSize * PJ(math.Pow(float64(size), exp))
 }

@@ -1,0 +1,52 @@
+package energy_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lpmem/internal/energy"
+)
+
+// TestMemoryModelValidate: the default model passes, and every field is
+// individually rejected when zero, negative, NaN or infinite — the
+// silent-substitution fix demands a half-initialised model fails loudly
+// before it reaches a consumer.
+func TestMemoryModelValidate(t *testing.T) {
+	if err := energy.DefaultMemoryModel().Validate(); err != nil {
+		t.Fatalf("default model must validate: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*energy.MemoryModel, float64)
+	}{
+		{"ReadE0", func(m *energy.MemoryModel, v float64) { m.ReadE0 = energy.PJ(v) }},
+		{"WriteE0", func(m *energy.MemoryModel, v float64) { m.WriteE0 = energy.PJ(v) }},
+		{"KSize", func(m *energy.MemoryModel, v float64) { m.KSize = energy.PJ(v) }},
+		{"SizeExp", func(m *energy.MemoryModel, v float64) { m.SizeExp = v }},
+		{"WritePenalty", func(m *energy.MemoryModel, v float64) { m.WritePenalty = v }},
+		{"LeakPerByteCycle", func(m *energy.MemoryModel, v float64) { m.LeakPerByteCycle = energy.PJ(v) }},
+		{"DecoderE", func(m *energy.MemoryModel, v float64) { m.DecoderE = energy.PJ(v) }},
+	}
+	bad := []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, f := range mutations {
+		for _, v := range bad {
+			m := energy.DefaultMemoryModel()
+			f.mut(&m, v)
+			err := m.Validate()
+			if err == nil {
+				t.Errorf("%s = %v: validated, want error", f.name, v)
+				continue
+			}
+			if !strings.Contains(err.Error(), f.name) {
+				t.Errorf("%s = %v: error %q does not name the field", f.name, v, err)
+			}
+		}
+	}
+	// The zero-value model — the exact shape the substitution used to
+	// paper over — is rejected.
+	var zero energy.MemoryModel
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero-value model must be rejected")
+	}
+}

@@ -56,7 +56,7 @@ func newSweepManager(workers int) *sweepManager {
 
 // sweepRequest is the POST /sweeps body.
 type sweepRequest struct {
-	// Space names the design space ("banks", "cache", "bus", "memhier").
+	// Space names the design space ("banks", "cache", "bus", "memhier", "memtech").
 	Space string `json:"space"`
 	// Points > 0 Latin-hypercube samples that many points; 0 sweeps the
 	// full grid.

@@ -1,0 +1,186 @@
+package memtech
+
+import (
+	"fmt"
+
+	"lpmem/internal/energy"
+	"lpmem/internal/trace"
+)
+
+// DRAM is a banked main-memory model with open-row (row-buffer) policy
+// and burst transfers. Consecutive pages interleave across banks, each
+// bank keeps its last-activated row open, and every access is classified
+// as a row-buffer hit (row already open), a row miss (bank had no open
+// row: activate) or a row conflict (another row open: precharge then
+// activate) — the access taxonomy of the DRAM survey in PAPERS.md
+// (Mutlu et al., arXiv 1805.09127).
+type DRAM struct {
+	// Cfg supplies PageSize, BurstLength and (via UCABankCount) the
+	// bank count.
+	Cfg Config
+
+	// Per-event energies, derived from the technology model in NewDRAM.
+	ActivateE  energy.PJ // open one row into the row buffer
+	PrechargeE energy.PJ // write the open row back / precharge bit lines
+	BurstE     energy.PJ // move one burst (BurstLength bytes) on the bus
+	WritePremE energy.PJ // extra per-burst cost of a write burst
+	// StaticPerBankCycle is the background power of one bank's row
+	// buffer and periphery, per cycle: more banks buy locality with
+	// standby power.
+	StaticPerBankCycle energy.PJ
+
+	// Latency components in cycles (relative DDR3-shaped timings).
+	TRCD, TRP, TCAS, TBurst uint64
+
+	// openRow[b] is bank b's open row, -1 when closed.
+	openRow []int64
+}
+
+// DRAMStats accumulates the classified accesses of a replay.
+type DRAMStats struct {
+	Reads        uint64 `json:"reads"`
+	Writes       uint64 `json:"writes"`
+	RowHits      uint64 `json:"row_hits"`
+	RowMisses    uint64 `json:"row_misses"`
+	RowConflicts uint64 `json:"row_conflicts"`
+	Bursts       uint64 `json:"bursts"`
+}
+
+// Accesses returns the total classified accesses.
+func (s DRAMStats) Accesses() uint64 { return s.RowHits + s.RowMisses + s.RowConflicts }
+
+// HitRate returns row-buffer hits over accesses (0 when empty).
+func (s DRAMStats) HitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses())
+}
+
+// NewDRAM derives a banked DRAM from the technology model. Activation
+// senses a whole page, so its cost grows with PageSize (and shrinks
+// with the node's dynamic scaling); burst energy is linear in the bytes
+// moved; the per-bank background power is a small row-buffer standby
+// term — DRAM cells store charge on capacitors, so banks cost standby
+// periphery power, not SRAM-class subthreshold leakage.
+func NewDRAM(m *Model) (*DRAM, error) {
+	if m == nil {
+		return nil, fmt.Errorf("memtech: NewDRAM needs a model")
+	}
+	cfg := m.Cfg
+	// Activation senses the whole page through the bit lines: one
+	// PageSize-array read under a node-scaled periphery factor.
+	act := m.Base.ReadEnergy(cfg.PageSize) * energy.PJ(0.3+0.4*m.dynScale)
+	// Burst beats move BurstLength bytes across the IO pins; off-chip IO
+	// barely scales with the node, so this is a flat per-byte cost.
+	const ioPerByte = 0.15
+	burst := energy.PJ(ioPerByte * float64(cfg.BurstLength))
+	// Row-buffer + periphery standby per bank: a capacitor array leaks
+	// orders of magnitude below SRAM, so only a thin slice of the base
+	// leakage term, uncoupled from the SRAM cell type.
+	const standbyFactor = 0.005
+	d := &DRAM{
+		Cfg:        cfg,
+		ActivateE:  act,
+		PrechargeE: act * 0.4,
+		BurstE:     burst,
+		WritePremE: burst * 0.25,
+		StaticPerBankCycle: m.Base.LeakPerByteCycle * energy.PJ(cfg.PageSize) *
+			energy.PJ(standbyFactor),
+		TRCD: 15, TRP: 15, TCAS: 10,
+		TBurst:  uint64(cfg.BurstLength / 2),
+		openRow: make([]int64, cfg.UCABankCount),
+	}
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	return d, nil
+}
+
+// Reset closes every bank (between independent replays).
+func (d *DRAM) Reset() {
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+}
+
+// locate maps an address to its bank and row. Pages spread across banks
+// through a bit-mixing hash of the page index rather than a plain
+// modulo: embedded images lay arrays out at power-of-two strides (16–32
+// pages apart in the kernel suite), and a modulo interleave aliases all
+// of them into one bank, defeating banking entirely — the problem
+// permutation-based page interleaving solves in the DRAM literature,
+// here taken to its limit with a full avalanche mix (murmur3 fmix32
+// constants). The row identity is the page number itself: the hash only
+// decides which row buffer tracks it.
+func (d *DRAM) locate(addr uint32) (bank int, row int64) {
+	page := addr / d.Cfg.PageSize
+	h := page
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	h *= 0x846ca68b
+	h ^= h >> 16
+	bank = int(h) % d.Cfg.UCABankCount
+	return bank, int64(page)
+}
+
+// Access classifies and records one transfer of width bytes.
+func (d *DRAM) Access(addr uint32, isWrite bool, width uint32, st *DRAMStats) {
+	bank, row := d.locate(addr)
+	switch {
+	case d.openRow[bank] == row:
+		st.RowHits++
+	case d.openRow[bank] < 0:
+		st.RowMisses++
+	default:
+		st.RowConflicts++
+	}
+	d.openRow[bank] = row
+	if isWrite {
+		st.Writes++
+	} else {
+		st.Reads++
+	}
+	if width == 0 {
+		width = 1
+	}
+	st.Bursts += uint64((int(width) + d.Cfg.BurstLength - 1) / d.Cfg.BurstLength)
+}
+
+// Replay classifies a whole access stream (fetches skipped) from a cold
+// (all-banks-closed) state and returns the statistics.
+func (d *DRAM) Replay(tr *trace.Trace) DRAMStats {
+	d.Reset()
+	var st DRAMStats
+	for _, a := range tr.Accesses {
+		if a.Kind == trace.Fetch {
+			continue
+		}
+		d.Access(a.Addr, a.Kind == trace.Write, uint32(a.Width), &st)
+	}
+	return st
+}
+
+// Energy prices the classified accesses plus the banks' background
+// power over the run. It is strictly monotone in the row-miss and
+// row-conflict counts: every hit→miss upgrade adds one activation,
+// every miss→conflict upgrade adds one precharge.
+func (d *DRAM) Energy(st DRAMStats, cycles uint64) energy.PJ {
+	e := d.BurstE*energy.PJ(st.Bursts) +
+		d.WritePremE*energy.PJ(st.Writes) +
+		d.ActivateE*energy.PJ(st.RowMisses+st.RowConflicts) +
+		d.PrechargeE*energy.PJ(st.RowConflicts)
+	e += d.StaticPerBankCycle * energy.PJ(d.Cfg.UCABankCount) * energy.PJ(cycles)
+	return e
+}
+
+// Latency returns the total access latency in cycles: column access per
+// access, row activation on misses, precharge+activation on conflicts,
+// and the burst beats.
+func (d *DRAM) Latency(st DRAMStats) uint64 {
+	return d.TCAS*st.Accesses() +
+		d.TRCD*(st.RowMisses+st.RowConflicts) +
+		d.TRP*st.RowConflicts +
+		d.TBurst*st.Bursts
+}

@@ -1,0 +1,132 @@
+package memtech_test
+
+import (
+	"testing"
+
+	"lpmem/internal/memtech"
+	"lpmem/internal/trace"
+)
+
+// singleBankDRAM builds a 1-bank DRAM with 1 KiB pages so the row-buffer
+// classification is hand-checkable.
+func singleBankDRAM(t *testing.T) *memtech.DRAM {
+	t.Helper()
+	cfg, err := memtech.Preset("dram-ddr3-65")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UCABankCount = 1
+	cfg.PageSize = 1024
+	m, err := memtech.FromPreset("dram-ddr3-65")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := memtech.New(m.Base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := memtech.NewDRAM(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDRAMClassification hand-checks the hit/miss/conflict taxonomy on a
+// single bank: first touch of a row is a miss, same-row touches hit,
+// switching rows with one open is a conflict.
+func TestDRAMClassification(t *testing.T) {
+	d := singleBankDRAM(t)
+	var st memtech.DRAMStats
+	seq := []struct {
+		addr uint32
+		want string
+	}{
+		{0, "miss"},        // cold bank
+		{512, "hit"},       // same 1 KiB page
+		{1023, "hit"},      // still the same page
+		{2048, "conflict"}, // page 2 while page 0 is open
+		{2080, "hit"},      // page 2 now open
+		{0, "conflict"},    // back to page 0
+		{1024, "conflict"}, // page 1
+		{1024, "hit"},      // repeat
+	}
+	for i, s := range seq {
+		before := st
+		d.Access(s.addr, false, 32, &st)
+		var got string
+		switch {
+		case st.RowHits == before.RowHits+1:
+			got = "hit"
+		case st.RowMisses == before.RowMisses+1:
+			got = "miss"
+		case st.RowConflicts == before.RowConflicts+1:
+			got = "conflict"
+		}
+		if got != s.want {
+			t.Fatalf("access %d (addr %d): classified %s, want %s", i, s.addr, got, s.want)
+		}
+	}
+	if st.Accesses() != uint64(len(seq)) {
+		t.Fatalf("accesses %d, want %d", st.Accesses(), len(seq))
+	}
+	// 32-byte transfers over 8-byte bursts: 4 bursts each.
+	if want := uint64(len(seq) * 4); st.Bursts != want {
+		t.Fatalf("bursts %d, want %d", st.Bursts, want)
+	}
+	if st.Writes != 0 || st.Reads != uint64(len(seq)) {
+		t.Fatalf("read/write split wrong: %+v", st)
+	}
+
+	// Reset closes the banks: the next access is a miss again.
+	d.Reset()
+	before := st
+	d.Access(0, true, 0, &st)
+	if st.RowMisses != before.RowMisses+1 {
+		t.Fatal("access after Reset should be a row miss")
+	}
+	if st.Writes != 1 {
+		t.Fatal("write access not counted as write")
+	}
+	// Zero width still moves one burst.
+	if st.Bursts != before.Bursts+1 {
+		t.Fatalf("zero-width access should cost one burst, got %d", st.Bursts-before.Bursts)
+	}
+}
+
+// TestDRAMReplaySkipsFetches: main memory in these experiments serves
+// data traffic; instruction fetches are filtered out like everywhere
+// else in the repository.
+func TestDRAMReplaySkipsFetches(t *testing.T) {
+	d := singleBankDRAM(t)
+	tr := trace.New(8)
+	tr.Append(trace.Access{Addr: 0, Width: 4, Kind: trace.Fetch})
+	tr.Append(trace.Access{Addr: 0, Width: 4, Kind: trace.Read})
+	tr.Append(trace.Access{Addr: 4096, Width: 4, Kind: trace.Write})
+	st := d.Replay(tr)
+	if st.Accesses() != 2 {
+		t.Fatalf("replay classified %d accesses, want 2 (fetch skipped)", st.Accesses())
+	}
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("read/write split wrong: %+v", st)
+	}
+}
+
+// TestDRAMHitRate covers the empty-stats corner the zero-sentinel guards.
+func TestDRAMHitRate(t *testing.T) {
+	var st memtech.DRAMStats
+	if got := st.HitRate(); got != 0 {
+		t.Fatalf("empty hit rate %v, want 0", got)
+	}
+	st.RowHits, st.RowMisses = 3, 1
+	if got := st.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate %v, want 0.75", got)
+	}
+}
+
+// TestNewDRAMNilModel: the constructor reports rather than panics.
+func TestNewDRAMNilModel(t *testing.T) {
+	if _, err := memtech.NewDRAM(nil); err == nil {
+		t.Fatal("nil model must error")
+	}
+}

@@ -1,0 +1,159 @@
+package memtech
+
+import (
+	"fmt"
+	"math"
+
+	"lpmem/internal/energy"
+)
+
+// gatedShares is the fraction of total static power each CACTI gating
+// switch can cut off when enabled. They sum to 0.95: even a fully gated
+// array keeps a retention rail (state is preserved, as CACTI's
+// power-gated SRAM modes assume), so some leakage always remains.
+var gatedShares = []struct {
+	enabled func(Config) bool
+	share   float64
+}{
+	{func(c Config) bool { return c.ArrayPowerGating }, 0.55},
+	{func(c Config) bool { return c.WLPowerGating }, 0.10},
+	{func(c Config) bool { return c.CLPowerGating }, 0.08},
+	{func(c Config) bool { return c.BitlineFloating }, 0.07},
+	{func(c Config) bool { return c.InterconnectPowerGating }, 0.15},
+}
+
+// Gating is the two-state (active ⇄ gated) power-gating machine derived
+// from a Config for one array size: while gated the array's static
+// power drops by SavedFrac, and every gated→active transition costs
+// WakeEnergy and stalls the first access by WakeLatency cycles.
+type Gating struct {
+	// SavedFrac is the fraction of static power eliminated while gated,
+	// in [0, 0.95]; 0 means no switch is enabled.
+	SavedFrac float64
+	// WakeLatency is the gated→active transition time in cycles (the
+	// CACTI performance-loss budget buys this down: a bigger budget
+	// tolerates a slower, smaller sleep network).
+	WakeLatency uint64
+	// WakeEnergy is the energy of one gated→active transition
+	// (recharging the virtual rails), for the array size the machine was
+	// derived for.
+	WakeEnergy energy.PJ
+	// staticPower is the ungated per-cycle leakage of that array.
+	staticPower energy.PJ
+}
+
+// wakeTauCycles converts the performance-loss budget into the
+// characteristic wake cost, expressed in cycles of *gated-off* static
+// power: WakeEnergy = SavedFrac · StaticPower · wakeTau. A tighter loss
+// budget (smaller L) forces larger, faster sleep transistors whose rail
+// recharge costs more, so the break-even idle interval stretches.
+func wakeTauCycles(perfLoss float64) float64 {
+	return 50 + 2/perfLoss
+}
+
+// Gating derives the machine for a size-byte array. With every switch
+// off it returns the inert machine (SavedFrac 0, no penalties).
+func (m *Model) Gating(size uint32) Gating {
+	var frac float64
+	for _, s := range gatedShares {
+		if s.enabled(m.Cfg) {
+			frac += s.share
+		}
+	}
+	if frac == 0 {
+		return Gating{staticPower: m.StaticPower(size)}
+	}
+	p := m.StaticPower(size)
+	tau := wakeTauCycles(m.Cfg.PowerGatingPerformanceLoss)
+	return Gating{
+		SavedFrac:   frac,
+		WakeLatency: uint64(math.Max(1, math.Round(m.Cfg.PowerGatingPerformanceLoss*1000))),
+		WakeEnergy:  energy.PJ(frac) * p * energy.PJ(tau),
+		staticPower: p,
+	}
+}
+
+// BreakEven returns the idle-interval length, in cycles, above which
+// gating an interval saves net energy: the t solving
+// SavedFrac·P·t = WakeEnergy. Intervals shorter than this lose energy
+// to the wake transition. It returns +Inf for an inert machine.
+func (g Gating) BreakEven() float64 {
+	if g.SavedFrac <= 0 || g.staticPower <= 0 {
+		return math.Inf(1)
+	}
+	return float64(g.WakeEnergy) / (g.SavedFrac * float64(g.staticPower))
+}
+
+// IdleReport prices one idle-interval trace under the machine.
+type IdleReport struct {
+	// Ungated is the baseline: full static power over every interval.
+	Ungated energy.PJ
+	// Gated is the policy's energy including wake penalties.
+	Gated energy.PJ
+	// Wakes counts gated→active transitions taken.
+	Wakes uint64
+	// WakeStallCycles is the total latency added by those transitions.
+	WakeStallCycles uint64
+}
+
+// Saving returns the percent static energy saved by the policy.
+func (r IdleReport) Saving() float64 {
+	if r.Ungated == 0 {
+		return 0
+	}
+	return 100 * float64(r.Ungated-r.Gated) / float64(r.Ungated)
+}
+
+// OracleGated prices the idle intervals under the oracle policy: an
+// interval is gated if and only if its length is at least the
+// break-even point (interval lengths are known in trace post-mortem, so
+// the oracle is realizable here). By construction the gated energy of
+// every interval is ≤ its ungated energy, so this policy never loses —
+// the invariant the property tests pin.
+func (g Gating) OracleGated(idle []uint64) IdleReport {
+	var rep IdleReport
+	be := g.BreakEven()
+	for _, t := range idle {
+		full := g.staticPower * energy.PJ(t)
+		rep.Ungated += full
+		if g.SavedFrac > 0 && float64(t) >= be {
+			rep.Gated += energy.PJ(1-g.SavedFrac)*full + g.WakeEnergy
+			rep.Wakes++
+			rep.WakeStallCycles += g.WakeLatency
+		} else {
+			rep.Gated += full
+		}
+	}
+	return rep
+}
+
+// TimeoutGated prices the intervals under the reactive policy real
+// controllers use: stay active for threshold cycles of idleness, then
+// gate until the next access. Unlike the oracle it can lose energy on
+// intervals in (threshold, threshold+BreakEven) — the wake cost is paid
+// but the gated stretch was too short — which is exactly the band E22
+// reports the counterexamples from.
+func (g Gating) TimeoutGated(idle []uint64, threshold uint64) IdleReport {
+	var rep IdleReport
+	for _, t := range idle {
+		full := g.staticPower * energy.PJ(t)
+		rep.Ungated += full
+		if g.SavedFrac > 0 && t > threshold {
+			gatedCycles := t - threshold
+			rep.Gated += g.staticPower*energy.PJ(threshold) +
+				energy.PJ(1-g.SavedFrac)*g.staticPower*energy.PJ(gatedCycles) +
+				g.WakeEnergy
+			rep.Wakes++
+			rep.WakeStallCycles += g.WakeLatency
+		} else {
+			rep.Gated += full
+		}
+	}
+	return rep
+}
+
+// String summarises the machine for diagnostics.
+func (g Gating) String() string {
+	return fmt.Sprintf("gating{saved %.0f%%, wake %d cycles / %s, break-even %.0f cycles}",
+		100*g.SavedFrac, g.WakeLatency, g.WakeEnergy, g.BreakEven())
+}

@@ -1,0 +1,139 @@
+package memtech
+
+import (
+	"fmt"
+	"math"
+
+	"lpmem/internal/energy"
+)
+
+// refTechnology is the node the base energy.MemoryModel is calibrated
+// at; all technology scaling is relative to it.
+const refTechnology = 0.18
+
+// Per-cell-type scale factors relative to the base model. The orderings
+// are the physical invariants the property tests pin:
+//
+//	static power:   lstp < lop < hp      (leakiest first when reversed)
+//	access latency: hp   < lop < lstp    (fastest first)
+//
+// Dynamic energy follows ITRS shape: lop switches cheapest (low
+// operating power), lstp pays a higher-Vt/higher-Vdd premium, hp drives
+// hardest.
+var cellScales = map[CellType]struct {
+	dyn  float64 // per-access dynamic energy multiplier
+	leak float64 // per-cycle static power multiplier
+	lat  float64 // access-latency multiplier
+	area float64 // cell-area multiplier
+}{
+	CellHP:   {dyn: 1.25, leak: 30.0, lat: 1.0, area: 1.25},
+	CellLOP:  {dyn: 0.85, leak: 4.0, lat: 1.3, area: 1.0},
+	CellLSTP: {dyn: 1.05, leak: 0.08, lat: 1.6, area: 1.0},
+}
+
+// dataShare / peripheralShare split each scale between the data array
+// and its periphery, so mixed configurations (lstp data under hp
+// periphery) interpolate instead of jumping.
+const (
+	dynDataShare  = 0.7
+	leakDataShare = 0.8
+)
+
+// Model prices accesses, leakage and latency for an SRAM built from a
+// Config, layered over the repository's base energy model. Build one
+// with New; the zero value is not useful.
+type Model struct {
+	// Base is the underlying 0.18 µm-calibrated model all scaling is
+	// applied to.
+	Base energy.MemoryModel
+	// Cfg is the validated technology configuration.
+	Cfg Config
+
+	// Cached composite scale factors (pure functions of Cfg).
+	dynScale  float64
+	leakScale float64
+	latScale  float64
+	areaScale float64
+}
+
+// New validates both layers and returns the composed model.
+func New(base energy.MemoryModel, cfg Config) (*Model, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("memtech: base model: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	data := cellScales[cfg.DataCell]
+	peri := cellScales[cfg.PeripheralCell]
+
+	// Technology scaling relative to the 0.18 µm calibration node:
+	// switched capacitance shrinks quadratically with feature size, while
+	// subthreshold leakage grows steeply as threshold voltages drop —
+	// the crossover that makes modern nodes leakage-dominated.
+	shrink := cfg.Technology / refTechnology
+	dynNode := shrink * shrink
+	leakNode := math.Pow(1/shrink, 2.5)
+
+	return &Model{
+		Base:      base,
+		Cfg:       cfg,
+		dynScale:  (dynDataShare*data.dyn + (1-dynDataShare)*peri.dyn) * dynNode,
+		leakScale: (leakDataShare*data.leak + (1-leakDataShare)*peri.leak) * leakNode,
+		latScale:  math.Max(data.lat, peri.lat),
+		areaScale: data.area * shrink * shrink,
+	}, nil
+}
+
+// FromPreset builds a model from a named preset over the default base
+// model; it returns an error rather than panicking so callers in
+// internal/ stay panic-free.
+func FromPreset(name string) (*Model, error) {
+	cfg, err := Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	return New(energy.DefaultMemoryModel(), cfg)
+}
+
+// ReadEnergy returns the per-read dynamic energy of a size-byte array,
+// including UCA bank selection.
+func (m *Model) ReadEnergy(size uint32) energy.PJ {
+	return m.Base.ReadEnergy(size)*energy.PJ(m.dynScale) + m.Base.SelectEnergy(m.Cfg.UCABankCount)
+}
+
+// WriteEnergy returns the per-write dynamic energy of a size-byte array,
+// including UCA bank selection.
+func (m *Model) WriteEnergy(size uint32) energy.PJ {
+	return m.Base.WriteEnergy(size)*energy.PJ(m.dynScale) + m.Base.SelectEnergy(m.Cfg.UCABankCount)
+}
+
+// StaticPower returns the ungated static (leakage) power of a size-byte
+// array, in PJ per cycle.
+func (m *Model) StaticPower(size uint32) energy.PJ {
+	return m.Base.LeakPerByteCycle * energy.PJ(size) * energy.PJ(m.leakScale)
+}
+
+// LeakageEnergy returns the static energy of holding size bytes powered
+// for the given cycles, with no gating.
+func (m *Model) LeakageEnergy(size uint32, cycles uint64) energy.PJ {
+	return m.StaticPower(size) * energy.PJ(cycles)
+}
+
+// AccessCycles returns the access-latency multiplier of the cell
+// choice: cycles per access relative to the hp baseline.
+func (m *Model) AccessCycles() float64 { return m.latScale }
+
+// AreaScale returns the array-area multiplier of the cell and node
+// choice relative to the 0.18 µm hp baseline (an area proxy for sweeps).
+func (m *Model) AreaScale() float64 { return m.areaScale }
+
+// DynamicEnergy prices a read/write mix against a size-byte array.
+func (m *Model) DynamicEnergy(size uint32, reads, writes uint64) energy.PJ {
+	return m.ReadEnergy(size)*energy.PJ(reads) + m.WriteEnergy(size)*energy.PJ(writes)
+}
+
+// TotalEnergy is the ungated total: dynamic plus leakage over the run.
+func (m *Model) TotalEnergy(size uint32, reads, writes, cycles uint64) energy.PJ {
+	return m.DynamicEnergy(size, reads, writes) + m.LeakageEnergy(size, cycles)
+}

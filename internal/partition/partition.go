@@ -181,6 +181,9 @@ func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy
 	if maxBanks < 1 {
 		return nil, 0, fmt.Errorf("partition: maxBanks must be >= 1, got %d", maxBanks)
 	}
+	if err := m.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("partition: %w", err)
+	}
 	n := len(spec.Blocks)
 	if n == 0 {
 		return &Partition{}, 0, nil

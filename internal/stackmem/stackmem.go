@@ -72,6 +72,9 @@ func Simulate(tr *trace.Trace, cfg Config, cm energy.CacheModel, mm energy.Memor
 	if cfg.StackLo >= cfg.StackHi {
 		return Result{}, fmt.Errorf("stackmem: empty stack region [%#x,%#x)", cfg.StackLo, cfg.StackHi)
 	}
+	if err := mm.Validate(); err != nil {
+		return Result{}, fmt.Errorf("stackmem: %w", err)
+	}
 	baseCache, err := cache.New(cfg.Cache, nil)
 	if err != nil {
 		return Result{}, err

@@ -78,7 +78,7 @@ func ParseObjectives(s string) ([]string, error) {
 // executor calls it from concurrent pool workers and the store assumes a
 // point's metrics never change under a fixed StoreVersion.
 type Adapter interface {
-	// Name is the registry key ("banks", "cache", "bus", "memhier").
+	// Name is the registry key ("banks", "cache", "bus", "memhier", "memtech").
 	Name() string
 	// Describe is a one-line summary for listings.
 	Describe() string

@@ -21,9 +21,10 @@
 # well-formed partial reports, deterministic fault placement) gate every
 # change to the runner/service stack. `fuzz` runs each fuzz target for a
 # few seconds on top of its checked-in corpus — a smoke, not a campaign.
-# `sweep` runs the full banks design-space sweep twice against one result
-# store and fails unless the second run re-executes zero points and prints
-# a byte-identical Pareto frontier — the incremental-sweep contract.
+# `sweep` runs the banks and memtech design-space sweeps twice against
+# one result store each and fails unless the second run re-executes zero
+# points and prints a byte-identical Pareto frontier — the
+# incremental-sweep contract.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,6 +90,10 @@ stage_chaos() {
     echo "== lpmem chaos (seeded fault-injection sweep)"
     go build -o "$BIN/lpmem" ./cmd/lpmem
     "$BIN/lpmem" chaos -seed 1 -plan all
+    # A second seed targeted at the technology experiments, so the
+    # memtech stack (gating machine, banked DRAM) sees its own fault
+    # placements rather than only whatever seed 1 lands on it.
+    "$BIN/lpmem" chaos -seed 23 -plan all E21 E22 E23
 }
 
 stage_fuzz() {
@@ -103,25 +108,27 @@ stage_fuzz() {
 stage_sweep() {
     echo "== lpmem sweep (resume determinism gate)"
     go build -o "$BIN/lpmem" ./cmd/lpmem
-    local dir
+    local dir space
     dir=$(mktemp -d)
-    # Cold run populates the store; the resumed run must re-execute
+    # Cold run populates each store; the resumed run must re-execute
     # nothing and reproduce the frontier byte-for-byte.
-    "$BIN/lpmem" sweep -space banks -resume "$dir/store.jsonl" -pareto \
-        >"$dir/front1.txt" 2>"$dir/sum1.txt"
-    "$BIN/lpmem" sweep -space banks -resume "$dir/store.jsonl" -pareto \
-        >"$dir/front2.txt" 2>"$dir/sum2.txt"
-    cat "$dir/sum1.txt" "$dir/sum2.txt"
-    if ! grep -q "evaluated 0," "$dir/sum2.txt"; then
-        echo "sweep resume re-executed points" >&2
-        rm -rf "$dir"
-        exit 1
-    fi
-    if ! diff -u "$dir/front1.txt" "$dir/front2.txt"; then
-        echo "sweep frontier not byte-identical across resume" >&2
-        rm -rf "$dir"
-        exit 1
-    fi
+    for space in banks memtech; do
+        "$BIN/lpmem" sweep -space "$space" -resume "$dir/$space.jsonl" -pareto \
+            >"$dir/front1.txt" 2>"$dir/sum1.txt"
+        "$BIN/lpmem" sweep -space "$space" -resume "$dir/$space.jsonl" -pareto \
+            >"$dir/front2.txt" 2>"$dir/sum2.txt"
+        cat "$dir/sum1.txt" "$dir/sum2.txt"
+        if ! grep -q "evaluated 0," "$dir/sum2.txt"; then
+            echo "sweep $space resume re-executed points" >&2
+            rm -rf "$dir"
+            exit 1
+        fi
+        if ! diff -u "$dir/front1.txt" "$dir/front2.txt"; then
+            echo "sweep $space frontier not byte-identical across resume" >&2
+            rm -rf "$dir"
+            exit 1
+        fi
+    done
     rm -rf "$dir"
 }
 

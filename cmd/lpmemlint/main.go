@@ -2,13 +2,20 @@
 // (internal/lint) over the module. It is the CI gate for the invariants
 // the compiler cannot check: determinism of model code, completeness of
 // the experiment registry, float-comparison hygiene, panic-free library
-// code, and error wrapping.
+// code, error wrapping, allocation discipline in hot loops, lock and
+// goroutine hygiene, and request-bounded buffer sizing.
 //
 // Usage:
 //
 //	go run ./cmd/lpmemlint ./...
 //	go run ./cmd/lpmemlint -list
 //	go run ./cmd/lpmemlint -json -enable determinism,registry ./internal/... .
+//	go run ./cmd/lpmemlint -escape-evidence -enable hotalloc ./internal/cache
+//
+// -escape-evidence additionally runs `go build -gcflags=-m` over the
+// named packages and attaches the compiler's heap messages to hotalloc
+// findings on the same lines, so each report carries proof rather than
+// heuristic suspicion.
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 // or load errors.
@@ -18,22 +25,25 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lpmem/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lpmemlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
 		listFlag    = fs.Bool("list", false, "print available analyzers and exit")
-		jsonFlag    = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		jsonFlag    = fs.Bool("json", false, "emit the lpmemlint report envelope as JSON")
 		enableFlag  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disableFlag = fs.String("disable", "", "comma-separated analyzers to skip")
+		escapeFlag  = fs.Bool("escape-evidence", false, "corroborate hotalloc findings with go build -gcflags=-m output")
 		verboseFlag = fs.Bool("v", false, "also report suppression counts and type-check noise")
 	)
 	fs.Usage = func() {
@@ -47,7 +57,7 @@ func run(args []string) int {
 
 	if *listFlag {
 		for _, a := range lint.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -57,14 +67,14 @@ func run(args []string) int {
 		var err error
 		analyzers, err = lint.ByName(*enableFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 	}
 	if *disableFlag != "" {
 		skip, err := lint.ByName(*disableFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		skipped := make(map[string]bool)
@@ -80,7 +90,7 @@ func run(args []string) int {
 		analyzers = kept
 	}
 	if len(analyzers) == 0 {
-		fmt.Fprintln(os.Stderr, "lpmemlint: no analyzers selected")
+		fmt.Fprintln(stderr, "lpmemlint: no analyzers selected")
 		return 2
 	}
 
@@ -91,22 +101,36 @@ func run(args []string) int {
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lpmemlint:", err)
+		fmt.Fprintln(stderr, "lpmemlint:", err)
 		return 2
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lpmemlint:", err)
+		fmt.Fprintln(stderr, "lpmemlint:", err)
 		return 2
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lpmemlint:", err)
+		fmt.Fprintln(stderr, "lpmemlint:", err)
 		return 2
 	}
 	if len(pkgs) == 0 {
-		fmt.Fprintln(os.Stderr, "lpmemlint: no packages matched", patterns)
+		fmt.Fprintln(stderr, "lpmemlint: no packages matched", patterns)
 		return 2
+	}
+
+	if *escapeFlag {
+		idx, err := lint.CollectEscape(loader.ModRoot, patterns)
+		if err != nil {
+			// Evidence is corroboration, not a prerequisite: report the
+			// failure and run without it rather than blocking the gate.
+			fmt.Fprintln(stderr, "lpmemlint: escape evidence unavailable:", err)
+		} else {
+			lint.AttachEscape(pkgs, idx)
+			if *verboseFlag {
+				fmt.Fprintf(stderr, "lpmemlint: escape evidence for %d source line(s)\n", idx.Len())
+			}
+		}
 	}
 
 	res := lint.Run(pkgs, analyzers)
@@ -114,26 +138,23 @@ func run(args []string) int {
 	if *verboseFlag {
 		for _, p := range pkgs {
 			for _, te := range p.TypeErrors {
-				fmt.Fprintf(os.Stderr, "lpmemlint: typecheck %s: %v\n", p.RelPath, te)
+				fmt.Fprintf(stderr, "lpmemlint: typecheck %s: %v\n", p.RelPath, te)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "lpmemlint: %d package(s), %d finding(s), %d suppressed by directives\n",
+		fmt.Fprintf(stderr, "lpmemlint: %d package(s), %d finding(s), %d suppressed by directives\n",
 			len(pkgs), len(res.Diagnostics), res.Suppressed)
 	}
 
 	if *jsonFlag {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if res.Diagnostics == nil {
-			res.Diagnostics = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(res.Diagnostics); err != nil {
-			fmt.Fprintln(os.Stderr, "lpmemlint:", err)
+		if err := enc.Encode(res.Report(analyzers, len(pkgs))); err != nil {
+			fmt.Fprintln(stderr, "lpmemlint:", err)
 			return 2
 		}
 	} else {
 		for _, d := range res.Diagnostics {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(res.Diagnostics) > 0 {

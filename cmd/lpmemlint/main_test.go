@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lpmem/internal/lint"
+)
+
+// TestList: -list prints every analyzer in the suite and exits 0.
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}
+
+// TestUnknownAnalyzer: a bad -enable name is a usage error (exit 2).
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-enable", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestJSONEnvelope: -json emits the versioned report envelope, not a
+// bare diagnostics array, even for a clean run.
+func TestJSONEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks a real package")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-enable", "registry", "./internal/lint"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	var report lint.Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a report envelope: %v\n%s", err, out.String())
+	}
+	if report.Schema != lint.ReportSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, lint.ReportSchema)
+	}
+	if len(report.Analyzers) != 1 || report.Analyzers[0] != "registry" {
+		t.Errorf("analyzers = %v, want [registry]", report.Analyzers)
+	}
+	if report.Diagnostics == nil {
+		t.Error("diagnostics must marshal as [], not null")
+	}
+}

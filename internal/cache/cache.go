@@ -5,6 +5,8 @@
 // experiments: all of them need exact hit/miss behaviour, the way that
 // served each access, and — for compression — the actual line contents
 // crossing the cache/memory boundary.
+//
+//lint:hotpath
 package cache
 
 import (
@@ -153,6 +155,10 @@ type Cache struct {
 
 	offBits uint32
 	setMask uint32
+	// scratch is the write-around line buffer, reused across misses so
+	// the no-allocate store path does not allocate per access. Safe
+	// because Backing implementations copy rather than retain the slice.
+	scratch []byte
 }
 
 // New builds a cache. A nil backing defaults to NullBacking.
@@ -164,14 +170,19 @@ func New(cfg Config, backing Backing) (*Cache, error) {
 		backing = NullBacking{}
 	}
 	c := &Cache{cfg: cfg, backing: backing}
+	// One flat allocation each for the way metadata and the line data,
+	// sliced up per set/way: 2 allocations instead of Sets*(Ways+1), and
+	// the replay loop walks contiguous memory.
 	c.sets = make([][]line, cfg.Sets)
-	for i := range c.sets {
-		ways := make([]line, cfg.Ways)
-		for w := range ways {
-			ways[w].data = make([]byte, cfg.LineSize)
-		}
-		c.sets[i] = ways
+	lines := make([]line, cfg.Sets*cfg.Ways)
+	data := make([]byte, cfg.Sets*cfg.Ways*cfg.LineSize)
+	for i := range lines {
+		lines[i].data = data[i*cfg.LineSize : (i+1)*cfg.LineSize : (i+1)*cfg.LineSize]
 	}
+	for i := range c.sets {
+		c.sets[i] = lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	c.scratch = make([]byte, cfg.LineSize)
 	for l := cfg.LineSize; l > 1; l >>= 1 {
 		c.offBits++
 	}
@@ -254,7 +265,7 @@ func (c *Cache) Access(addr uint32, isWrite bool, width uint8, value uint32) Res
 	if isWrite && !c.cfg.WriteAllocate {
 		// Write around: forward to memory, no allocation.
 		c.stats.WriteThroughs++
-		line := make([]byte, c.cfg.LineSize)
+		line := c.scratch
 		c.backing.ReadLine(lineBase, line)
 		storeBytes(line, addr-lineBase, width, value)
 		c.backing.WriteLine(lineBase, line)

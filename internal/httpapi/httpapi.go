@@ -10,6 +10,8 @@
 // do), an optional request timeout bounds each run, and /healthz reports
 // "degraded" with HTTP 503 while any experiment's circuit breaker is
 // open.
+//
+//lint:untrusted-input
 package httpapi
 
 import (

@@ -109,6 +109,13 @@ func (m *sweepManager) start(req sweepRequest) (*sweepJob, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Validate the requested sample size BEFORE enumerating: Sample
+	// allocates proportionally to req.Points, so the bound must hold
+	// before the allocation, not after. The post-enumeration check stays
+	// for the Grid path, whose size is only known once enumerated.
+	if req.Points > maxSweepPoints {
+		return nil, fmt.Errorf("httpapi: sweep of %d points exceeds the %d-point cap", req.Points, maxSweepPoints)
+	}
 	sp := ad.Space()
 	var pts []sweep.Point
 	if req.Points > 0 {
@@ -137,6 +144,7 @@ func (m *sweepManager) start(req sweepRequest) (*sweepJob, error) {
 	m.jobs[job.id] = job
 	m.mu.Unlock()
 
+	//lint:allow goroutine an accepted sweep deliberately outlives its request; run settles the job and exits, and the store keeps partial results if the server dies
 	go m.run(job, ad, sp, pts)
 	return job, nil
 }

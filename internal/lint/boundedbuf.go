@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// untrustedPackages lists the request-facing packages whose make calls
+// boundedbuf polices even without a //lint:untrusted-input marker: the
+// HTTP surface and the sweep layer it feeds, where a numeric field of a
+// request body can become an allocation size.
+var untrustedPackages = []string{
+	"internal/httpapi",
+	"internal/sweep",
+}
+
+// AnalyzerBoundedbuf flags make calls whose length or capacity is not
+// provably bounded, in packages that size buffers from request input.
+// The lpmemd north star is heavy concurrent traffic; one request body
+// carrying {"points": 1e9} must not turn into a gigabyte allocation
+// before validation runs. Bounded means: a constant, len/cap/min/max of
+// something that already exists, or arithmetic over those. Anything
+// else — a decoded field, a parsed query parameter, a bare variable —
+// needs a clamp first or a //lint:allow boundedbuf directive explaining
+// why the value cannot be attacker-controlled.
+func AnalyzerBoundedbuf() *Analyzer {
+	return &Analyzer{
+		Name: "boundedbuf",
+		Doc:  "flags make() sized from unclamped input in request-facing (//lint:untrusted-input) packages",
+		Run:  runBoundedbuf,
+	}
+}
+
+func untrustedPackage(pkg *Package) bool {
+	if pkg.untrusted {
+		return true
+	}
+	for _, u := range untrustedPackages {
+		if pkg.RelPath == u || strings.HasPrefix(pkg.RelPath, u+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runBoundedbuf(pkg *Package, rep *Reporter) {
+	if !untrustedPackage(pkg) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" || len(call.Args) < 2 {
+				return true
+			}
+			for _, size := range call.Args[1:] {
+				if !boundedExpr(pkg, size) {
+					rep.Reportf(call.Pos(), "make sized by %s, which is not provably bounded; clamp request-derived sizes before allocating", exprString(size))
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// boundedExpr reports whether e is structurally bounded: constants,
+// len/cap of existing values, the min/max builtins (min caps against
+// its other operand), and arithmetic over bounded operands.
+func boundedExpr(pkg *Package, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return boundedExpr(pkg, v.X)
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM, token.SHR:
+			return boundedExpr(pkg, v.X) && boundedExpr(pkg, v.Y)
+		}
+		return false
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "len", "cap":
+				return true
+			case "min":
+				// min(x, bound) is bounded if any operand is.
+				for _, a := range v.Args {
+					if boundedExpr(pkg, a) {
+						return true
+					}
+				}
+				return false
+			case "max":
+				// max(x, y) is bounded only if every operand is.
+				for _, a := range v.Args {
+					if !boundedExpr(pkg, a) {
+						return false
+					}
+				}
+				return len(v.Args) > 0
+			}
+		}
+		return isConstExpr(pkg, v)
+	default:
+		return isConstExpr(pkg, e)
+	}
+}
+
+// isConstExpr reports compile-time constants (named constants included)
+// via type information.
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -11,25 +11,53 @@ type directive struct {
 	reason   string
 	file     string
 	line     int
+	// pkgScope marks a directive placed above the package clause (in the
+	// file preamble or the package doc comment): it suppresses the named
+	// analyzer across the whole package, not just one line. Package scope
+	// exists for wholesale exemptions — an infrastructure package whose
+	// entire job is the thing an analyzer polices — where per-line
+	// directives would be pure noise.
+	pkgScope bool
 }
 
-const directivePrefix = "//lint:allow"
+const (
+	directivePrefix = "//lint:allow"
+	// hotpathPrefix marks a package whose loops are performance-critical:
+	// the hotalloc analyzer polices allocation sources inside them. The
+	// marker conventionally sits in the package doc comment.
+	hotpathPrefix = "//lint:hotpath"
+	// untrustedPrefix marks a package that sizes buffers from
+	// request-supplied numbers: the boundedbuf analyzer polices its make
+	// calls.
+	untrustedPrefix = "//lint:untrusted-input"
+)
 
-// collectDirectives scans every comment in the package for //lint:allow
-// directives. A directive suppresses findings of the named analyzer on
-// its own line and on the line directly below it (so it can sit either
-// at the end of the offending line or on the line above). Malformed
-// directives — a missing analyzer name or a missing reason — are
-// reported as findings themselves under the "directive" name.
+// collectDirectives scans every comment in the package for //lint:
+// directives. A //lint:allow directive suppresses findings of the named
+// analyzer on its own line and on the line directly below it (so it can
+// sit either at the end of the offending line or on the line above); one
+// placed above the package clause suppresses package-wide. Malformed
+// directives — a missing analyzer name, a missing reason, or an analyzer
+// name the suite does not know — are reported as findings themselves
+// under the "directive" name, so a typo cannot silently disable nothing.
 func (p *Package) collectDirectives() {
+	known := knownAnalyzers()
 	for _, f := range p.Files {
+		pkgLine := p.Fset.Position(f.Package).Line
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
-				if !strings.HasPrefix(text, directivePrefix) {
+				pos := p.Fset.Position(c.Pos())
+				switch {
+				case strings.HasPrefix(text, hotpathPrefix):
+					p.hotpath = true
+					continue
+				case strings.HasPrefix(text, untrustedPrefix):
+					p.untrusted = true
+					continue
+				case !strings.HasPrefix(text, directivePrefix):
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
 				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
 				name, reason, _ := strings.Cut(rest, " ")
 				reason = strings.TrimSpace(reason)
@@ -43,22 +71,42 @@ func (p *Package) collectDirectives() {
 					})
 					continue
 				}
+				if !known[name] {
+					p.badDiags = append(p.badDiags, Diagnostic{
+						Analyzer: "directive",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "directive allows unknown analyzer " + strconvQuote(name) + "; it suppresses nothing",
+					})
+					continue
+				}
 				p.directives = append(p.directives, directive{
 					analyzer: name,
 					reason:   reason,
 					file:     pos.Filename,
 					line:     pos.Line,
+					pkgScope: pos.Line < pkgLine,
 				})
 			}
 		}
 	}
 }
 
+// strconvQuote is a tiny local quote to avoid importing strconv here.
+func strconvQuote(s string) string { return `"` + s + `"` }
+
 // allowed reports whether a finding of the given analyzer at pos is
 // covered by a directive.
 func (p *Package) allowed(analyzer string, pos token.Position) bool {
 	for _, d := range p.directives {
-		if d.analyzer != analyzer || d.file != pos.Filename {
+		if d.analyzer != analyzer {
+			continue
+		}
+		if d.pkgScope {
+			return true
+		}
+		if d.file != pos.Filename {
 			continue
 		}
 		if d.line == pos.Line || d.line == pos.Line-1 {

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// EscapeIndex holds parsed `go build -gcflags=-m` escape-analysis output:
+// for every source line where the compiler proved a value reaches the
+// heap, the compiler's own words. The hotalloc analyzer uses it to
+// corroborate its AST heuristics — a finding that carries "escapes to
+// heap" straight from the compiler is evidence, not opinion.
+type EscapeIndex struct {
+	// ModRoot anchors the relative paths the compiler prints.
+	ModRoot string
+	// byLine maps "slash/relative/path.go:line" to the heap messages the
+	// compiler emitted for that line, in emission order.
+	byLine map[string][]string
+}
+
+// heapMessage reports whether one -m diagnostic proves a heap
+// allocation. The compiler phrases these two ways: "escapes to heap"
+// (values, literals, boxed arguments) and "moved to heap: x" (variables
+// promoted off the stack). Everything else -m prints — inlining
+// decisions, "does not escape" proofs — is noise here.
+func heapMessage(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// ParseEscapeOutput parses the stderr of `go build -gcflags=-m` run from
+// modRoot. Lines look like
+//
+//	internal/cache/cache.go:257:15: make([]byte, c.cfg.LineSize) escapes to heap
+//
+// Only heap-proving messages are indexed.
+func ParseEscapeOutput(modRoot string, r io.Reader) (*EscapeIndex, error) {
+	idx := &EscapeIndex{ModRoot: modRoot, byLine: make(map[string][]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		// <path>:<line>:<col>: <message>
+		rest, msg, ok := strings.Cut(line, ": ")
+		if !ok || !heapMessage(msg) {
+			continue
+		}
+		parts := strings.Split(rest, ":")
+		if len(parts) < 3 || !strings.HasSuffix(parts[0], ".go") {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		rel := filepath.ToSlash(filepath.Clean(parts[0]))
+		key := fmt.Sprintf("%s:%d", rel, ln)
+		idx.byLine[key] = append(idx.byLine[key], msg)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: reading escape output: %w", err)
+	}
+	return idx, nil
+}
+
+// CollectEscape runs `go build -gcflags=-m` over the given package
+// patterns from modRoot and indexes the heap messages. -gcflags without
+// a pattern prefix applies only to the packages named on the command
+// line, which is exactly the scope wanted: dependencies compile without
+// -m noise. The build's exit status is ignored as long as output was
+// produced — a package that fails to build later in the list must not
+// discard the evidence already emitted.
+func CollectEscape(modRoot string, patterns []string) (*EscapeIndex, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	var buf strings.Builder
+	cmd.Stderr = &buf
+	runErr := cmd.Run()
+	idx, err := ParseEscapeOutput(modRoot, strings.NewReader(buf.String()))
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil && len(idx.byLine) == 0 {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %w\n%s", runErr, buf.String())
+	}
+	return idx, nil
+}
+
+// Len reports how many source lines carry heap evidence.
+func (x *EscapeIndex) Len() int { return len(x.byLine) }
+
+// At returns the compiler's heap messages for an absolute file path and
+// line, or nil.
+func (x *EscapeIndex) At(file string, line int) []string {
+	rel, err := filepath.Rel(x.ModRoot, file)
+	if err != nil {
+		return nil
+	}
+	return x.byLine[fmt.Sprintf("%s:%d", filepath.ToSlash(rel), line)]
+}
+
+// AttachEscape hands the evidence index to every package, making it
+// available to evidence-aware analyzers (currently hotalloc).
+func AttachEscape(pkgs []*Package, idx *EscapeIndex) {
+	for _, p := range pkgs {
+		p.Escape = idx
+	}
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerGoroutine polices goroutine hygiene in internal/ library code,
+// where a leaked or unbounded goroutine behind lpmemd outlives the
+// request that spawned it and accumulates under heavy concurrent
+// traffic. Three rules:
+//
+//  1. A `go` statement needs cancellation in scope: the enclosing
+//     function must receive a context.Context or a channel (done/stop
+//     signal), or hand one to the spawned call. Fire-and-forget
+//     goroutines with neither cannot be shut down.
+//  2. A `go` statement inside a loop launches an unbounded number of
+//     goroutines; outside the runner's bounded pool that is a
+//     load-amplification bug. Bounded launches (the pool itself)
+//     carry a //lint:allow goroutine directive saying what bounds them.
+//  3. A channel send in a function with a context in scope must sit in
+//     a select with a cancellation case; a bare send blocks forever
+//     when the receiver is gone. Sends on buffered channels proven
+//     never to block are annotated, not exempted silently.
+func AnalyzerGoroutine() *Analyzer {
+	return &Analyzer{
+		Name: "goroutine",
+		Doc:  "flags go statements without cancellation, goroutine launches in loops, unguarded channel sends",
+		Run:  runGoroutine,
+	}
+}
+
+func runGoroutine(pkg *Package, rep *Reporter) {
+	if !strings.HasPrefix(pkg.RelPath+"/", "internal/") {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cancellable := hasCancellation(fd.Type)
+			walkGoroutine(rep, fd.Body, fd.Name.Name, cancellable, false)
+		}
+	}
+}
+
+// hasCancellation reports whether a function signature carries a
+// cancellation handle: a context.Context parameter or any channel
+// parameter (done channels and work queues both qualify — a closed
+// queue is a stop signal).
+func hasCancellation(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, fld := range ft.Params.List {
+		if isContextType(fld.Type) || isChanType(fld.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context" && sel.Sel.Name == "Context"
+}
+
+func isChanType(e ast.Expr) bool {
+	_, ok := e.(*ast.ChanType)
+	return ok
+}
+
+// callPassesCancellation reports whether the spawned call's arguments
+// include something cancellation-shaped by name (ctx, done, stop,
+// cancel, quit) — the syntactic stand-in for "the goroutine received a
+// way to be told to exit".
+func callPassesCancellation(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		id, ok := a.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch id.Name {
+		case "ctx", "done", "stop", "cancel", "quit":
+			return true
+		}
+	}
+	return false
+}
+
+// walkGoroutine visits a statement tree tracking loop depth and select
+// nesting. cancellable is whether the *enclosing* function can be told
+// to stop; funcLit bodies recompute it from their own signature.
+func walkGoroutine(rep *Reporter, n ast.Node, fnName string, cancellable, inLoop bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch v := c.(type) {
+		case *ast.ForStmt:
+			if v.Body != nil {
+				walkGoroutine(rep, v.Body, fnName, cancellable, true)
+			}
+			return false
+		case *ast.RangeStmt:
+			if v.Body != nil {
+				walkGoroutine(rep, v.Body, fnName, cancellable, true)
+			}
+			return false
+		case *ast.FuncLit:
+			// A literal inherits the lexical ability to be cancelled (it
+			// can capture ctx), so cancellable propagates; the loop
+			// context does not — its body runs when called, not per
+			// iteration of the enclosing loop.
+			lit := cancellable || hasCancellation(v.Type)
+			if v.Body != nil {
+				walkGoroutine(rep, v.Body, fnName, lit, false)
+			}
+			return false
+		case *ast.GoStmt:
+			if inLoop {
+				rep.Reportf(v.Pos(), "go statement inside a loop in %s launches unbounded goroutines; bound them with a worker pool or annotate the bound", fnName)
+			}
+			if !cancellable && !callPassesCancellation(v.Call) {
+				rep.Reportf(v.Pos(), "goroutine launched in %s without cancellation (no context.Context or done channel in scope); it cannot be shut down", fnName)
+			}
+			// The spawned call's own literal body is walked by the
+			// FuncLit case via Inspect's continued traversal.
+			return true
+		case *ast.SelectStmt:
+			// Sends inside a select clause are guarded by construction;
+			// only descend into the clause bodies with the guard noted.
+			for _, clause := range v.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				for _, s := range cc.Body {
+					walkGoroutine(rep, s, fnName, cancellable, inLoop)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if cancellable {
+				rep.Reportf(v.Pos(), "channel send in %s is not guarded by a select with a cancellation case; it blocks forever if the receiver is gone", fnName)
+			}
+			return true
+		}
+		return true
+	})
+}

@@ -39,14 +39,39 @@ type Analyzer struct {
 }
 
 // All returns the full analyzer suite in stable (alphabetical) order.
+// The first five are the API-hygiene wave (PR 2); the last four are the
+// performance-and-concurrency wave policing the invariants the
+// dark-memory line of work says dominate at scale: energy goes where
+// the memory traffic goes.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AnalyzerBoundedbuf(),
 		AnalyzerDeterminism(),
 		AnalyzerErrwrap(),
 		AnalyzerFloatCompare(),
+		AnalyzerGoroutine(),
+		AnalyzerHotalloc(),
+		AnalyzerLocks(),
 		AnalyzerPanicFree(),
 		AnalyzerRegistry(),
 	}
+}
+
+// FastFive returns the cheap syntactic wave run by CI quick mode: the
+// original API-hygiene analyzers, which need no escape evidence and no
+// deep expression walking.
+func FastFive() string {
+	return "determinism,errwrap,floatcompare,panicfree,registry"
+}
+
+// knownAnalyzers indexes every analyzer name a //lint:allow directive
+// may legally reference.
+func knownAnalyzers() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // ByName resolves a comma-separated analyzer list against the suite.
@@ -77,11 +102,19 @@ type Diagnostic struct {
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
+	// Evidence carries compiler corroboration when available — for
+	// hotalloc, the `go build -gcflags=-m` message proving the line
+	// heap-allocates.
+	Evidence string `json:"evidence,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	if d.Evidence != "" {
+		s += fmt.Sprintf(" [compiler: %s]", d.Evidence)
+	}
+	return s
 }
 
 // Reporter collects diagnostics for one analyzer over one package,
@@ -95,6 +128,12 @@ type Reporter struct {
 
 // Reportf records a finding at pos unless an allow directive covers it.
 func (r *Reporter) Reportf(pos token.Pos, format string, args ...interface{}) {
+	r.ReportEvidence(pos, "", format, args...)
+}
+
+// ReportEvidence records a finding that carries external corroboration
+// (e.g. a compiler escape message) unless an allow directive covers it.
+func (r *Reporter) ReportEvidence(pos token.Pos, evidence, format string, args ...interface{}) {
 	p := r.pkg.Fset.Position(pos)
 	if r.pkg.allowed(r.analyzer, p) {
 		r.suppressed++
@@ -106,6 +145,7 @@ func (r *Reporter) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Line:     p.Line,
 		Col:      p.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Evidence: evidence,
 	})
 }
 
@@ -115,6 +155,42 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Suppressed counts findings silenced by //lint:allow directives.
 	Suppressed int
+}
+
+// ReportSchema versions the lpmemlint -json envelope. Bump it when a
+// field changes shape; the schema golden test pins the layout.
+const ReportSchema = "lpmemlint/2"
+
+// Report is the machine-readable envelope lpmemlint -json emits (and CI
+// uploads as an artifact): which analyzers ran over how many packages,
+// every surviving finding, and how many were suppressed by directives.
+type Report struct {
+	Schema      string       `json:"schema"`
+	Analyzers   []string     `json:"analyzers"`
+	Packages    int          `json:"packages"`
+	Findings    int          `json:"findings"`
+	Suppressed  int          `json:"suppressed"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Report assembles the JSON envelope for a finished run.
+func (res *Result) Report(analyzers []*Analyzer, packages int) Report {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	diags := res.Diagnostics
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return Report{
+		Schema:      ReportSchema,
+		Analyzers:   names,
+		Packages:    packages,
+		Findings:    len(diags),
+		Suppressed:  res.Suppressed,
+		Diagnostics: diags,
+	}
 }
 
 // Run executes the given analyzers over the given packages.

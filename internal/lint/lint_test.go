@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -76,6 +77,10 @@ var fixtureAnalyzers = map[string]func() *Analyzer{
 	"floatcompare": AnalyzerFloatCompare,
 	"panicfree":    AnalyzerPanicFree,
 	"errwrap":      AnalyzerErrwrap,
+	"hotalloc":     AnalyzerHotalloc,
+	"locks":        AnalyzerLocks,
+	"goroutine":    AnalyzerGoroutine,
+	"boundedbuf":   AnalyzerBoundedbuf,
 }
 
 // TestGolden runs every analyzer over its seeded fixture package and
@@ -99,15 +104,34 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestMalformedDirectives: directives without an analyzer name or reason
-// are findings regardless of which analyzers run.
+// TestMalformedDirectives: directives without an analyzer name or
+// reason — or naming an analyzer the suite does not know — are findings
+// regardless of which analyzers run.
 func TestMalformedDirectives(t *testing.T) {
 	pkg := loadFixture(t, "directive")
 	res := Run([]*Package{pkg}, []*Analyzer{AnalyzerPanicFree()})
 	got := render(res.Diagnostics)
 	checkGolden(t, "directive", got)
-	if n := len(res.Diagnostics); n != 2 {
-		t.Fatalf("want 2 malformed-directive findings, got %d:\n%s", n, got)
+	if n := len(res.Diagnostics); n != 3 {
+		t.Fatalf("want 3 bad-directive findings (2 malformed + 1 unknown analyzer), got %d:\n%s", n, got)
+	}
+}
+
+// TestPackageScopeDirective: a directive above the package clause
+// suppresses the named analyzer for the whole package. The pkgscope
+// fixture panics twice under one directive.
+func TestPackageScopeDirective(t *testing.T) {
+	pkg := loadFixture(t, "pkgscope")
+	res := Run([]*Package{pkg}, []*Analyzer{AnalyzerPanicFree()})
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("package-scope directive failed to suppress:\n%s", render(res.Diagnostics))
+	}
+	if res.Suppressed != 2 {
+		t.Fatalf("want 2 suppressions from the package-level directive, got %d", res.Suppressed)
+	}
+	// The same directive does not leak to other analyzers.
+	if got := Run([]*Package{pkg}, []*Analyzer{AnalyzerDeterminism()}); got.Suppressed != 0 {
+		t.Fatalf("package-scope panicfree directive suppressed determinism findings: %d", got.Suppressed)
 	}
 }
 
@@ -159,4 +183,54 @@ func TestLoaderPatterns(t *testing.T) {
 			t.Fatalf("testdata package leaked into load: %s", p.RelPath)
 		}
 	}
+}
+
+// TestEscapeEvidence runs the real compiler's escape analysis over the
+// hotalloc fixture and checks that the analyzer corroborates at least
+// three of its findings with the compiler's own heap messages. This is
+// the acceptance gate for -escape-evidence: the heuristics and the
+// compiler must agree on concrete lines, not just in spirit.
+func TestEscapeEvidence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go build -gcflags=-m")
+	}
+	pkg := loadFixture(t, "hotalloc")
+	idx, err := CollectEscape(pkg.ModRoot, []string{"./internal/lint/testdata/src/hotalloc"})
+	if err != nil {
+		t.Fatalf("CollectEscape: %v", err)
+	}
+	if idx.Len() == 0 {
+		t.Fatal("compiler produced no heap messages for the hotalloc fixture")
+	}
+	AttachEscape([]*Package{pkg}, idx)
+	res := Run([]*Package{pkg}, []*Analyzer{AnalyzerHotalloc()})
+	corroborated := 0
+	for _, d := range res.Diagnostics {
+		if d.Evidence != "" {
+			corroborated++
+		}
+	}
+	if corroborated < 3 {
+		t.Fatalf("want >= 3 findings corroborated by compiler escape evidence, got %d of %d:\n%s",
+			corroborated, len(res.Diagnostics), render(res.Diagnostics))
+	}
+}
+
+// TestReportJSON pins the lpmemlint -json envelope: schema tag, field
+// order, and diagnostic layout. CI uploads this document as an
+// artifact, so its shape is API.
+func TestReportJSON(t *testing.T) {
+	pkg := loadFixture(t, "directive")
+	res := Run([]*Package{pkg}, []*Analyzer{AnalyzerPanicFree()})
+	report := res.Report([]*Analyzer{AnalyzerPanicFree()}, 1)
+	if report.Schema != ReportSchema {
+		t.Fatalf("schema = %q, want %q", report.Schema, ReportSchema)
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File paths are absolute; anchor them to $MOD for a stable golden.
+	got := strings.ReplaceAll(string(raw), pkg.ModRoot, "$MOD") + "\n"
+	checkGolden(t, "report_json", got)
 }

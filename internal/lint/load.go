@@ -32,9 +32,19 @@ type Package struct {
 	// TypeErrors collects type-checker complaints; the syntactic
 	// analyzers still run over packages that fail to check.
 	TypeErrors []error
+	// ModRoot is the module root the package was loaded from; escape
+	// evidence and other path-relative lookups anchor here.
+	ModRoot string
+	// Escape, when non-nil, carries compiler escape-analysis evidence
+	// (see AttachEscape); hotalloc corroborates its findings against it.
+	Escape *EscapeIndex
 
 	directives []directive
 	badDiags   []Diagnostic
+	// hotpath and untrusted record the //lint:hotpath and
+	// //lint:untrusted-input package markers.
+	hotpath   bool
+	untrusted bool
 }
 
 // Loader loads module packages for analysis.
@@ -195,6 +205,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		RelPath: filepath.ToSlash(rel),
 		Fset:    l.fset,
 		Files:   files,
+		ModRoot: l.ModRoot,
 	}
 	pkg.collectDirectives()
 

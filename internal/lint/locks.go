@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerLocks enforces the mutex discipline the concurrent layers
+// (runner, httpapi, sweep) depend on. Four rules:
+//
+//  1. sync.Mutex, sync.RWMutex, sync.WaitGroup and sync.Once must not be
+//     passed or received by value — a copied lock guards nothing, and a
+//     copied WaitGroup's Done never reaches the Wait.
+//  2. A function that calls Lock/RLock on some receiver must also call
+//     the matching Unlock/RUnlock on the same receiver (directly or via
+//     defer). Lock-handoff designs exist, but each is a documented
+//     decision: annotate with //lint:allow locks.
+//  3. `defer mu.Unlock()` inside a loop is almost always a bug: the
+//     unlock runs at function exit, not iteration end, so the second
+//     iteration deadlocks (or the lock is held for the whole walk).
+//  4. Rule 1 applied to call arguments: passing a WaitGroup or mutex
+//     value into a function copies it.
+func AnalyzerLocks() *Analyzer {
+	return &Analyzer{
+		Name: "locks",
+		Doc:  "flags copied locks, Lock without a reachable Unlock, and defer-Unlock inside loops",
+		Run:  runLocks,
+	}
+}
+
+// syncValueTypes are the by-value-poisonous sync types.
+var syncValueTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+}
+
+// syncValueType returns the offending type name when t is one of the
+// sync types that must not be copied, "" otherwise. Pointers are fine.
+func syncValueType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	if syncValueTypes[full] {
+		return full
+	}
+	return ""
+}
+
+func runLocks(pkg *Package, rep *Reporter) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockParams(pkg, rep, fd)
+			if fd.Body != nil {
+				checkLockPairing(pkg, rep, fd)
+				checkDeferUnlockInLoop(pkg, rep, fd.Body)
+				checkLockArgs(pkg, rep, fd.Body)
+			}
+		}
+	}
+}
+
+// checkLockParams flags by-value sync types in receivers and parameters.
+func checkLockParams(pkg *Package, rep *Reporter, fd *ast.FuncDecl) {
+	if pkg.Info == nil {
+		return
+	}
+	fields := []*ast.Field{}
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, fld := range fields {
+		tv, ok := pkg.Info.Types[fld.Type]
+		if !ok {
+			continue
+		}
+		if name := syncValueType(tv.Type); name != "" {
+			rep.Reportf(fld.Pos(), "%s passed by value in %s; a copied lock guards nothing — take a pointer", name, fd.Name.Name)
+		}
+	}
+}
+
+// checkLockArgs flags call arguments whose static type is a by-value
+// sync type.
+func checkLockArgs(pkg *Package, rep *Reporter, body *ast.BlockStmt) {
+	if pkg.Info == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				continue // address-of is the correct way to hand a lock over
+			}
+			tv, ok := pkg.Info.Types[arg]
+			if !ok {
+				continue
+			}
+			if name := syncValueType(tv.Type); name != "" {
+				rep.Reportf(arg.Pos(), "%s copied into call %s; pass a pointer", name, exprString(call.Fun))
+			}
+		}
+		return true
+	})
+}
+
+// lockCall decomposes expr.(R)Lock/(R)Unlock calls into (receiver
+// rendering, method name).
+func lockCall(call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return exprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// unlockFor maps a lock method to its release.
+func unlockFor(method string) string {
+	if method == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// checkLockPairing flags Lock calls with no same-receiver Unlock
+// anywhere in the function (including defers and nested literals —
+// reachability is approximated by presence, which keeps the rule
+// syntactic; the race detector covers the dynamic cases).
+func checkLockPairing(pkg *Package, rep *Reporter, fd *ast.FuncDecl) {
+	type lockSite struct {
+		call   *ast.CallExpr
+		recv   string
+		method string
+	}
+	var locks []lockSite
+	unlocks := make(map[string]bool) // "recv.method"
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := lockCall(call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Lock", "RLock":
+			locks = append(locks, lockSite{call, recv, method})
+		case "Unlock", "RUnlock":
+			unlocks[recv+"."+method] = true
+		}
+		return true
+	})
+	for _, l := range locks {
+		want := l.recv + "." + unlockFor(l.method)
+		if !unlocks[want] {
+			rep.Reportf(l.call.Pos(), "%s.%s with no reachable %s in %s; unlock on every path (defer) or annotate the handoff",
+				l.recv, l.method, want, fd.Name.Name)
+		}
+	}
+}
+
+// checkDeferUnlockInLoop flags defer <x>.Unlock()/RUnlock() lexically
+// inside a for/range body: the defer fires at function exit, so the
+// lock is held across all remaining iterations (and a second Lock
+// deadlocks). Function literals reset the loop context — a defer inside
+// a closure inside a loop releases at the closure's exit, which is
+// per-iteration and fine.
+func checkDeferUnlockInLoop(pkg *Package, rep *Reporter, body *ast.BlockStmt) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch v := c.(type) {
+			case *ast.ForStmt:
+				if v.Body != nil {
+					walk(v.Body, true)
+				}
+				return false
+			case *ast.RangeStmt:
+				if v.Body != nil {
+					walk(v.Body, true)
+				}
+				return false
+			case *ast.FuncLit:
+				if v.Body != nil {
+					walk(v.Body, false)
+				}
+				return false
+			case *ast.DeferStmt:
+				if !inLoop {
+					return true
+				}
+				if recv, method, ok := lockCall(v.Call); ok && strings.HasSuffix(method, "Unlock") {
+					rep.Reportf(v.Pos(), "defer %s.%s inside a loop runs at function exit, not iteration end; unlock explicitly or extract the body", recv, method)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}

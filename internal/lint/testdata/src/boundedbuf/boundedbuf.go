@@ -1,0 +1,45 @@
+// Package boundedbuf is a lint fixture: make calls sized from unclamped
+// input in a request-facing package. The marker below opts the package
+// into the boundedbuf analyzer the same way internal/httpapi is opted
+// in by the configured list.
+//
+//lint:untrusted-input
+package boundedbuf
+
+const maxPoints = 4096
+
+// Alloc sizes a buffer straight from its argument — a decoded request
+// field here means one request body allocates gigabytes.
+func Alloc(n int) []byte {
+	return make([]byte, n)
+}
+
+// Grid multiplies two unclamped dimensions; arithmetic over an
+// unbounded term stays unbounded.
+func Grid(rows, cols int) []int {
+	return make([]int, rows*cols)
+}
+
+// Clamped is the clean case: the min builtin caps the size.
+func Clamped(n int) []byte {
+	return make([]byte, min(n, maxPoints))
+}
+
+// Copy sizes from an existing value; len is bounded by construction.
+func Copy(src []byte) []byte {
+	dst := make([]byte, len(src))
+	copy(dst, src)
+	return dst
+}
+
+// Fixed is constant-sized.
+func Fixed() []byte {
+	return make([]byte, maxPoints)
+}
+
+// Validated is the annotated case: the caller rejected oversized
+// requests before this point.
+func Validated(n int) []int {
+	//lint:allow boundedbuf the handler rejects n above maxPoints before calling
+	return make([]int, n)
+}

@@ -10,3 +10,6 @@ func MissingReason() {}
 
 //lint:allow panicfree a well-formed directive is not a finding
 func WellFormed() {}
+
+//lint:allow nosuchanalyzer the analyzer name is a typo and suppresses nothing
+func UnknownAnalyzer() {}

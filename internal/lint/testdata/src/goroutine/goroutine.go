@@ -1,0 +1,47 @@
+// Package goroutine is a lint fixture: goroutine-hygiene violations in
+// internal/ code — leaks without cancellation, unbounded launches in
+// loops, and channel sends that can block forever.
+package goroutine
+
+import "context"
+
+func work() {}
+
+// Leak launches a fire-and-forget goroutine with no cancellation in
+// scope: no context, no done channel, no way to shut it down.
+func Leak() {
+	go work()
+}
+
+// Fanout launches one goroutine per item with nothing bounding the
+// count (and still no cancellation).
+func Fanout(items []int) {
+	for range items {
+		go work()
+	}
+}
+
+// Send performs a bare channel send with a context in scope: if the
+// receiver is gone, this blocks forever instead of honouring ctx.
+func Send(ctx context.Context, ch chan int) {
+	ch <- 1
+}
+
+// Guarded is the clean case: the send sits in a select with a
+// cancellation arm.
+func Guarded(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// Pool is the annotated case: the launch count is bounded by the
+// workers parameter and the context cancels the pool.
+func Pool(ctx context.Context, workers int) {
+	for i := 0; i < workers; i++ {
+		//lint:allow goroutine bounded by the workers parameter; ctx cancels the pool
+		go work()
+	}
+	_ = ctx
+}

@@ -1,0 +1,103 @@
+// Package hotalloc is a lint fixture: allocation sources inside the
+// loops of a hot-path package. The marker below puts every loop here on
+// the hot path, the same way internal/cache and internal/trace are
+// marked in the real tree.
+//
+//lint:hotpath
+package hotalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// Box is an interface type used to demonstrate boxing conversions.
+type Box interface{}
+
+// Package-level sinks keep the compiler from optimising the escapes
+// away, so `go build -gcflags=-m` corroborates the findings below.
+var (
+	sinkIface  Box
+	sinkBytes  []byte
+	sinkString string
+	sinkPoint  *point
+)
+
+// Replay is the hot loop: one of each allocation source.
+func Replay(n int) {
+	for i := 0; i < n; i++ {
+		p := &point{i, i} // want: composite pointer, escapes
+		sinkPoint = p
+
+		buf := make([]byte, 64) // want: make in loop, escapes
+		sinkBytes = buf
+
+		sinkString = fmt.Sprintf("step %d", i) // want: fmt in loop, arg escapes
+
+		sinkIface = Box(i) // want: interface boxing, escapes
+	}
+}
+
+// Collect grows a slice declared without capacity.
+func Collect(n int) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want: unpreallocated append
+	}
+	return out
+}
+
+// Labels concatenates strings and builds literals per iteration.
+func Labels(names []string) {
+	for _, name := range names {
+		sinkString = "label:" + name // want: string concat
+		m := map[string]int{"k": 1}  // want: map literal
+		_ = m
+		f := func() string { return name } // want: capturing closure
+		sinkString = f()
+	}
+}
+
+// step is hot because Drive calls it from a loop: the fixpoint puts its
+// body on the hot path even though it contains no loop itself.
+func step(i int) {
+	sinkString = fmt.Sprintf("%d", i) // want: hot via caller loop
+}
+
+// Drive is the loop that makes step hot.
+func Drive(n int) {
+	for i := 0; i < n; i++ {
+		step(i)
+	}
+}
+
+// Checked exercises the cold-exit exemption: the fmt.Errorf sits in a
+// return statement returning an error, so it is the failure path and is
+// not flagged.
+func Checked(xs []int) error {
+	for _, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative value %d", x)
+		}
+	}
+	return nil
+}
+
+// Grow is the annotated case: amortised growth is this helper's job.
+func Grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		//lint:allow hotalloc amortised growth is the documented contract here
+		out = append(out, i)
+	}
+	return out
+}
+
+// Preallocated is the clean case: capacity reserved up front, buffer
+// reused, nothing to report.
+func Preallocated(n int) []int {
+	out := make([]int, 0, 16)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

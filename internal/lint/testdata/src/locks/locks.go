@@ -1,0 +1,63 @@
+// Package locks is a lint fixture: lock-discipline violations the locks
+// analyzer must catch, plus the annotated handoff it must respect.
+package locks
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+// ByValue receives the mutex by value; the copy guards nothing.
+func ByValue(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Leak takes the lock and returns without releasing it.
+func Leak(s *store) {
+	s.mu.Lock()
+	s.data["x"] = 1
+}
+
+// Walk defers the unlock inside the loop body, so the lock is held for
+// the whole walk and the second iteration deadlocks.
+func Walk(s *store, keys []string) {
+	for range keys {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+}
+
+// Spawn copies a WaitGroup into a call; Done on the copy never reaches
+// the original's Wait.
+func Spawn() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	use(wg)
+	wg.Wait()
+}
+
+func use(wg sync.WaitGroup) {
+	wg.Done()
+}
+
+// Acquire is the annotated lock handoff: the matching Unlock lives in
+// Release, by documented contract.
+func Acquire(s *store) {
+	//lint:allow locks handoff: Release unlocks after the caller finishes
+	s.mu.Lock()
+}
+
+// Release completes the handoff started by Acquire.
+func Release(s *store) {
+	s.mu.Unlock()
+}
+
+// Guarded is the clean case: lock, defer unlock, done.
+func Guarded(s *store, k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}

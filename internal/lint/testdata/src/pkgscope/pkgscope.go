@@ -1,0 +1,16 @@
+//lint:allow panicfree fixture-wide exemption: every helper here panics by documented contract
+
+// Package pkgscope is a lint fixture: a //lint:allow directive placed
+// above the package clause suppresses the named analyzer across the
+// whole package, not just one line.
+package pkgscope
+
+// Boom would be a panicfree finding without the package-level directive.
+func Boom() {
+	panic("by contract")
+}
+
+// Bang too — both are covered by the single directive at the top.
+func Bang() {
+	panic("also by contract")
+}

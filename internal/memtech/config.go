@@ -25,6 +25,8 @@
 // (smaller nodes leak more, low-standby cells leak less and switch
 // slower), which is what preserves the papers' comparative claims under
 // substitution (see DESIGN.md, "Substitutions").
+//
+//lint:hotpath
 package memtech
 
 import (

@@ -12,11 +12,15 @@
 // Bank capacities are rounded up to the next power of two, as real SRAM
 // macros are: the rounding wastage is exactly what address clustering
 // (package cluster) reduces.
+//
+//lint:hotpath
 package partition
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"lpmem/internal/energy"
 	"lpmem/internal/trace"
@@ -63,23 +67,22 @@ func SpecFromTrace(t *trace.Trace, blockSize uint32, cycles uint64) (*Spec, []ui
 		return nil, nil, fmt.Errorf("partition: block size %d is not a power of two", blockSize)
 	}
 	type rw struct{ r, w uint64 }
-	counts := make(map[uint32]*rw)
+	// Value map with read-modify-write: no per-block pointer allocation
+	// while scanning what can be a multi-million-access trace.
+	counts := make(map[uint32]rw)
 	mask := ^(blockSize - 1)
 	for _, a := range t.Accesses {
 		if a.Kind == trace.Fetch {
 			continue
 		}
 		base := a.Addr & mask
-		c, ok := counts[base]
-		if !ok {
-			c = &rw{}
-			counts[base] = c
-		}
+		c := counts[base]
 		if a.Kind == trace.Write {
 			c.w++
 		} else {
 			c.r++
 		}
+		counts[base] = c
 	}
 	bases := make([]uint32, 0, len(counts))
 	for b := range counts {
@@ -117,14 +120,18 @@ func (p *Partition) NumBanks() int { return len(p.Banks) }
 
 // String renders a compact description like "[4KiB:1203 1KiB:9771]".
 func (p *Partition) String() string {
-	s := "["
+	var sb strings.Builder
+	sb.WriteByte('[')
 	for i, b := range p.Banks {
 		if i > 0 {
-			s += " "
+			sb.WriteByte(' ')
 		}
-		s += fmt.Sprintf("%dB:%d", b.SizeBytes, b.Reads+b.Writes)
+		sb.WriteString(strconv.FormatUint(uint64(b.SizeBytes), 10))
+		sb.WriteString("B:")
+		sb.WriteString(strconv.FormatUint(b.Reads+b.Writes, 10))
 	}
-	return s + "]"
+	sb.WriteByte(']')
+	return sb.String()
 }
 
 // pow2Ceil rounds v up to the next power of two (minimum 1).
@@ -186,58 +193,65 @@ func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy
 	}
 	n := len(spec.Blocks)
 	if n == 0 {
+		//lint:allow hotalloc empty-spec fast path: one fixed-size allocation per call
 		return &Partition{}, 0, nil
 	}
-	// Prefix sums for O(1) range statistics.
-	preR := make([]uint64, n+1)
-	preW := make([]uint64, n+1)
+	// Optimal is called in a loop by tradeoff.Curve, so its setup
+	// allocations are per-iteration from the caller's view. Each O(n)
+	// slice below is amortised over the O(n²·K) DP that follows, and the
+	// logically-2D tables share single flat backings.
+	//
+	// Prefix sums for O(1) range statistics: pre[0..n] reads, pre[n+1..]
+	// writes.
+	//lint:allow hotalloc O(n) setup amortised over the O(n²·K) DP below
+	pre := make([]uint64, 2*(n+1))
+	preR, preW := pre[:n+1], pre[n+1:]
 	for i, b := range spec.Blocks {
 		preR[i+1] = preR[i] + b.Reads
 		preW[i+1] = preW[i] + b.Writes
 	}
-	// cost(i,j): energy of one bank holding blocks [i,j), including its
-	// leakage (select overhead depends on the final bank count and is
-	// added per k below). The bank's physical size — and with it every
-	// size-dependent model term, each hiding a math.Pow — depends only on
-	// the block count j-i, so the O(n²·K) cost evaluations of the DP need
-	// just n model evaluations, memoized per length here.
-	readE := make([]energy.PJ, n+1)
-	writeE := make([]energy.PJ, n+1)
-	leakE := make([]energy.PJ, n+1)
+	// Per-length model memos: the energy of one bank holding l blocks
+	// depends only on l — and each model term hides a math.Pow — so the
+	// O(n²·K) cost evaluations of the DP need just n model evaluations.
+	//lint:allow hotalloc O(n) setup amortised over the O(n²·K) DP below
+	memo := make([]energy.PJ, 3*(n+1))
+	readE, writeE, leakE := memo[:n+1], memo[n+1:2*(n+1)], memo[2*(n+1):]
 	for l := 1; l <= n; l++ {
 		size := pow2Ceil(uint32(l) * spec.BlockSize)
 		readE[l] = m.ReadEnergy(size)
 		writeE[l] = m.WriteEnergy(size)
 		leakE[l] = m.Leakage(size, spec.Cycles)
 	}
-	cost := func(i, j int) energy.PJ {
-		return readE[j-i]*energy.PJ(preR[j]-preR[i]) +
-			writeE[j-i]*energy.PJ(preW[j]-preW[i]) +
-			leakE[j-i]
-	}
 
 	const inf = energy.PJ(1e30)
-	// dp[k][j]: min energy of splitting blocks [0,j) into exactly k banks.
-	dp := make([][]energy.PJ, maxBanks+1)
-	cut := make([][]int, maxBanks+1)
-	for k := range dp {
-		dp[k] = make([]energy.PJ, n+1)
-		cut[k] = make([]int, n+1)
-		for j := range dp[k] {
-			dp[k][j] = inf
-		}
+	// dp[k][j]: min energy of splitting blocks [0,j) into exactly k
+	// banks; cut[k][j] the matching last boundary. Flat row-major tables.
+	stride := n + 1
+	//lint:allow hotalloc O(n·K) DP table amortised over the O(n²·K) DP below
+	dp := make([]energy.PJ, (maxBanks+1)*stride)
+	//lint:allow hotalloc O(n·K) DP table amortised over the O(n²·K) DP below
+	cut := make([]int, (maxBanks+1)*stride)
+	for i := range dp {
+		dp[i] = inf
 	}
-	dp[0][0] = 0
+	dp[0] = 0
 	for k := 1; k <= maxBanks; k++ {
+		prev, row := dp[(k-1)*stride:k*stride], dp[k*stride:(k+1)*stride]
+		cutRow := cut[k*stride : (k+1)*stride]
 		for j := 1; j <= n; j++ {
 			for i := k - 1; i < j; i++ {
-				if dp[k-1][i] >= inf {
+				if prev[i] >= inf {
 					continue
 				}
-				c := dp[k-1][i] + cost(i, j)
-				if c < dp[k][j] {
-					dp[k][j] = c
-					cut[k][j] = i
+				// cost(i,j): energy of one bank holding blocks [i,j),
+				// including its leakage (select overhead depends on the
+				// final bank count and is added per k below).
+				c := prev[i] + readE[j-i]*energy.PJ(preR[j]-preR[i]) +
+					writeE[j-i]*energy.PJ(preW[j]-preW[i]) +
+					leakE[j-i]
+				if c < row[j] {
+					row[j] = c
+					cutRow[j] = i
 				}
 			}
 		}
@@ -245,20 +259,21 @@ func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy
 	total := spec.TotalAccesses()
 	bestK, bestE := 1, inf
 	for k := 1; k <= maxBanks; k++ {
-		if dp[k][n] >= inf {
+		if dp[k*stride+n] >= inf {
 			continue
 		}
-		e := dp[k][n] + m.SelectEnergy(k)*energy.PJ(total)
+		e := dp[k*stride+n] + m.SelectEnergy(k)*energy.PJ(total)
 		if e < bestE {
 			bestE = e
 			bestK = k
 		}
 	}
 	// Reconstruct the cuts.
+	//lint:allow hotalloc result slice; the caller owns the returned banks
 	banks := make([]Bank, 0, bestK)
 	j := n
 	for k := bestK; k >= 1; k-- {
-		i := cut[k][j]
+		i := cut[k*stride+j]
 		banks = append(banks, Bank{
 			FirstBlock: i,
 			NumBlocks:  j - i,
@@ -272,5 +287,6 @@ func Optimal(spec *Spec, maxBanks int, m energy.MemoryModel) (*Partition, energy
 	for l, r := 0, len(banks)-1; l < r; l, r = l+1, r-1 {
 		banks[l], banks[r] = banks[r], banks[l]
 	}
+	//lint:allow hotalloc result value; the API returns a fresh Partition per call
 	return &Partition{Banks: banks}, bestE, nil
 }

@@ -345,6 +345,7 @@ func (e *Engine[T]) Run(ctx context.Context, jobs []Job[T]) []Outcome[T] {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow goroutine the pool is bounded by workers and drains when idx closes
 		go func() {
 			defer wg.Done()
 			for i := range idx {
@@ -502,10 +503,12 @@ func (e *Engine[T]) invoke(ctx context.Context, j Job[T]) (T, error) {
 			if r := recover(); r != nil {
 				e.panics.Add(1)
 				var zero T
+				//lint:allow goroutine ch is buffered (cap 1) and has exactly one sender; the send cannot block
 				ch <- res{zero, &PanicError{ID: j.ID, Value: r, Stack: debug.Stack()}}
 			}
 		}()
 		v, err := j.Run(ctx)
+		//lint:allow goroutine ch is buffered (cap 1) and has exactly one sender; the send cannot block
 		ch <- res{v, err}
 	}()
 	select {

@@ -1,3 +1,5 @@
+//lint:untrusted-input
+
 // Package sweep is the design-space exploration engine: every abstract in
 // the DATE'03 low-power track is the output of a parameter sweep — the
 // authors varied bank counts, cache geometries and bus encodings and
@@ -128,6 +130,7 @@ func (a Axis) gridValues() []Value {
 	case IntAxis:
 		if a.Steps <= 0 {
 			lo, hi := int(math.Ceil(a.Min)), int(math.Floor(a.Max))
+			//lint:allow boundedbuf axis geometry is compiled-in adapter config, not request input
 			out := make([]Value, 0, hi-lo+1)
 			for v := lo; v <= hi; v++ {
 				out = append(out, IntValue(v))
@@ -146,6 +149,7 @@ func (a Axis) gridValues() []Value {
 		}
 		return out
 	default: // FloatAxis
+		//lint:allow boundedbuf axis geometry is compiled-in adapter config, not request input
 		out := make([]Value, a.Steps)
 		for i := 0; i < a.Steps; i++ {
 			out[i] = FloatValue(a.at(fraction(i, a.Steps)))
@@ -469,7 +473,9 @@ func (s Space) Sample(n int, seed int64) ([]Point, error) {
 		perms[i] = axisRand(seed, a.Name, "perm").Perm(n)
 		jitter[i] = axisRand(seed, a.Name, "jitter")
 	}
-	seen := make(map[string]bool, n)
+	// Clamp the capacity hint: n is caller-supplied (ultimately a request
+	// field behind /sweep), and a hint must not become the allocation.
+	seen := make(map[string]bool, min(n, 4096))
 	var out []Point
 	for k := 0; k < n; k++ {
 		p := make(Point, len(s.Axes))

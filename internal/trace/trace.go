@@ -6,6 +6,8 @@
 // VLIW engine (internal/vliw) or by the synthetic generators in this
 // package, and consumed by the partitioning, clustering, caching, encoding
 // and scheduling passes.
+//
+//lint:hotpath
 package trace
 
 import (
@@ -196,8 +198,20 @@ func (p *Profile) Hot(n int) []uint32 {
 // and crafted by hand in tests.
 func (t *Trace) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	// strconv.Append* into one reused buffer: serialising a trace is one
+	// write per access, and fmt's boxing used to dominate the profile.
+	buf := make([]byte, 0, 32)
 	for _, a := range t.Accesses {
-		if _, err := fmt.Fprintf(bw, "%s %x %d %x\n", a.Kind, a.Addr, a.Width, a.Value); err != nil {
+		buf = buf[:0]
+		buf = append(buf, a.Kind.String()...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, uint64(a.Addr), 16)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, uint64(a.Width), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, uint64(a.Value), 16)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}

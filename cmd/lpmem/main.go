@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 
 	"lpmem"
 	"lpmem/internal/runner"
@@ -132,38 +131,6 @@ func runExperiments(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runTrace implements `lpmem trace <kernel> [seed]`.
-func runTrace(args []string, stdout, stderr io.Writer) int {
-	if len(args) < 1 {
-		fmt.Fprintln(stderr, "usage: lpmem trace <kernel> [seed]")
-		return 2
-	}
-	seed := int64(1)
-	if len(args) >= 2 {
-		s, err := strconv.ParseInt(args[1], 10, 64)
-		if err != nil {
-			fmt.Fprintf(stderr, "bad seed %q: %v\n", args[1], err)
-			return 2
-		}
-		seed = s
-	}
-	k, err := workloads.ByName(args[0])
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	res, err := workloads.Run(k.Build(seed))
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	if err := res.Trace.WriteText(stdout); err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	return 0
-}
-
 func usage(w io.Writer) {
 	fmt.Fprintf(w, `lpmem — DATE'03 low-power track reproduction driver
 
@@ -174,7 +141,11 @@ usage:
   lpmem chaos [flags] [ids|all]   fault-injection robustness sweep
   lpmem sweep [flags]             design-space exploration (Pareto frontiers)
   lpmem kernels                   list workload kernels
-  lpmem trace <kernel> [seed]     dump a kernel memory trace
+  lpmem trace <kernel> [seed]     dump a kernel memory trace (text format)
+  lpmem trace convert [flags]     interconvert text and binary traces losslessly
+  lpmem trace info FILE           header, access counts and density of a trace
+  lpmem trace cat FILE            print a trace (either format) as text
+  lpmem trace replay [flags] FILE stream a trace through a cache, print stats
 
 run flags:
   -parallel N    worker-pool size (default GOMAXPROCS)
@@ -198,6 +169,15 @@ sweep flags:
   -objectives L  frontier objectives (default energy_pj,latency,area)
   -parallel N    worker-pool size; -batch N points per batch; -timeout D
   -json          emit the sweep envelope as JSON; -v batch progress
+
+trace convert flags:
+  -i FILE        input trace, text or binary, sniffed (- = stdin)
+  -o FILE        output path (- = stdout)
+  -to FMT        text | binary | auto (default: the opposite of the input)
+
+trace replay flags:
+  -sets N -ways N -line N         cache geometry (default 64x4, 32B lines)
+  -write-through -no-allocate     write policies (default write-back, allocate)
 
 exit status: 0 on success, 1 if any experiment failed (run), any
 robustness invariant was violated (chaos), or any sweep point failed

@@ -1,8 +1,13 @@
 package lpmem
 
 import (
+	"bytes"
 	"reflect"
+	"sync/atomic"
 	"testing"
+
+	"lpmem/internal/trace"
+	"lpmem/internal/workloads"
 )
 
 // TestExperimentsAreDeterministic runs every registered experiment twice
@@ -11,6 +16,85 @@ import (
 // lpmemlint determinism analyzer — the analyzer proves no experiment
 // reads an unseeded entropy source, and this test proves the composed
 // pipelines actually reproduce the paper tables run-over-run.
+// TestExperimentsBinaryRoundTripEquivalence runs the full registry
+// twice — once clean, once with every workload and synthetic trace
+// serialised to the columnar binary format and re-read before the
+// experiment consumes it — and requires bit-identical tables and
+// summaries. This is the registry-wide proof that the binary format is
+// lossless in practice, not just on hand-picked fixtures: any encoder
+// or decoder defect that perturbs a single access shows up as a table
+// diff in whichever experiment touched it.
+func TestExperimentsBinaryRoundTripEquivalence(t *testing.T) {
+	// Clean pass first, hooks unset.
+	clean := make(map[string]*Result)
+	for _, exp := range Experiments() {
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatalf("%s clean run: %v", exp.ID, err)
+		}
+		clean[exp.ID] = res
+	}
+
+	// Second pass with both trace seams pointed at the binary codec.
+	// Top-level tests run sequentially, so the package-level hooks are
+	// safe to set here; subtests below stay serial for the same reason.
+	var roundTrips atomic.Int64
+	roundTrip := func(tr *trace.Trace) *trace.Trace {
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			t.Errorf("WriteBinary during experiment: %v", err)
+			return tr
+		}
+		back, err := trace.ReadBinary(&buf)
+		if err != nil {
+			t.Errorf("ReadBinary during experiment: %v", err)
+			return tr
+		}
+		roundTrips.Add(1)
+		return back
+	}
+	workloads.TraceTransform = roundTrip
+	traceTransform = roundTrip
+	defer func() {
+		workloads.TraceTransform = nil
+		traceTransform = nil
+	}()
+
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run()
+			if err != nil {
+				t.Fatalf("%s round-trip run: %v", exp.ID, err)
+			}
+			want := clean[exp.ID]
+			if res.Summary != want.Summary {
+				t.Errorf("%s summary changed under binary round-trip:\n clean: %s\n bin:   %s",
+					exp.ID, want.Summary, res.Summary)
+			}
+			if !reflect.DeepEqual(res.Table.Header(), want.Table.Header()) {
+				t.Errorf("%s table header changed under binary round-trip:\n clean: %v\n bin:   %v",
+					exp.ID, want.Table.Header(), res.Table.Header())
+			}
+			r1, r2 := want.Table.ToRows(), res.Table.ToRows()
+			if len(r1) != len(r2) {
+				t.Fatalf("%s row count changed under binary round-trip: %d vs %d", exp.ID, len(r1), len(r2))
+			}
+			for i := range r1 {
+				if !reflect.DeepEqual(r1[i], r2[i]) {
+					t.Errorf("%s row %d changed under binary round-trip:\n clean: %v\n bin:   %v",
+						exp.ID, i, r1[i], r2[i])
+				}
+			}
+		})
+	}
+	if n := roundTrips.Load(); n == 0 {
+		t.Fatal("binary round-trip hook never fired: the equivalence pass tested nothing")
+	} else {
+		t.Logf("binary round-trip applied to %d traces", n)
+	}
+}
+
 func TestExperimentsAreDeterministic(t *testing.T) {
 	for _, exp := range Experiments() {
 		exp := exp

@@ -193,6 +193,23 @@ type appTrace struct {
 	cycles uint64
 }
 
+// traceTransform mirrors workloads.TraceTransform for the traces this
+// package assembles itself (synthetic address profiles, merged
+// composite applications), which never pass through workloads.Run. The
+// cross-format equivalence test sets both hooks to the same binary
+// round-trip so every trace an experiment consumes has been through
+// the columnar encoder and decoder. Set only with no experiments in
+// flight.
+var traceTransform func(*trace.Trace) *trace.Trace
+
+// transformedTrace applies traceTransform when set.
+func transformedTrace(t *trace.Trace) *trace.Trace {
+	if traceTransform == nil {
+		return t
+	}
+	return traceTransform(t)
+}
+
 // kernelTraces runs every kernel once and returns the traces.
 func kernelTraces(seed int64) ([]appTrace, error) {
 	var out []appTrace
@@ -238,7 +255,7 @@ func compositeApps(seed int64) ([]appTrace, error) {
 			}
 			cycles += res.Cycles
 		}
-		out = append(out, appTrace{name: c.name, trace: merged, cycles: cycles})
+		out = append(out, appTrace{name: c.name, trace: transformedTrace(merged), cycles: cycles})
 	}
 	return out, nil
 }
@@ -266,7 +283,7 @@ func profileApps() []appTrace {
 			}
 		}
 		tr := trace.Synthesize(trace.SynthConfig{Seed: seed, N: n, Regions: regions, WriteFraction: 0.3})
-		return appTrace{name: name, trace: tr, cycles: uint64(n) * 3}
+		return appTrace{name: name, trace: transformedTrace(tr), cycles: uint64(n) * 3}
 	}
 	return []appTrace{
 		mk("prof-sparse", 11, 128<<10, 16, 150, 100_000),

@@ -362,11 +362,24 @@ func (c *Cache) Flush() int {
 // Replay runs a whole data trace (loads and stores; fetches are skipped)
 // through the cache and returns the statistics.
 func (c *Cache) Replay(t *trace.Trace) Stats {
-	for _, a := range t.Accesses {
+	// A SliceCursor cannot fail, so the error is structurally nil here.
+	st, _ := c.ReplayCursor(t.Cursor())
+	return st
+}
+
+// ReplayCursor streams an access cursor (loads and stores; fetches are
+// skipped) through the cache. It is the zero-allocation replay path:
+// paired with trace.NewReader it replays a binary on-disk trace of any
+// length without materialising a []Access. The returned error is the
+// cursor's: a decode failure ends the replay with the statistics
+// accumulated so far.
+func (c *Cache) ReplayCursor(cur trace.Cursor) (Stats, error) {
+	for cur.Next() {
+		a := cur.Access()
 		if a.Kind == trace.Fetch {
 			continue
 		}
 		c.Access(a.Addr, a.Kind == trace.Write, a.Width, a.Value)
 	}
-	return c.stats
+	return c.stats, cur.Err()
 }

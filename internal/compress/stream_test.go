@@ -1,0 +1,58 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"lpmem/internal/cache"
+	"lpmem/internal/trace"
+	"lpmem/internal/workloads"
+)
+
+// TestMeasureTrafficCursorBinaryStreamEquivalence pins the streamed
+// boundary-traffic measurement to the materialised one over a real
+// kernel trace: identical traffic, identical cache statistics.
+func TestMeasureTrafficCursorBinaryStreamEquivalence(t *testing.T) {
+	res := workloads.MustRun(workloads.All()[0].Build(1))
+	cfg := cache.Config{Sets: 16, Ways: 2, LineSize: 32, WriteBack: true, WriteAllocate: true}
+	wantTraffic, wantStats, err := MeasureTraffic(res.Trace, cfg, Differential{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := res.Trace.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTraffic, gotStats, err := MeasureTrafficCursor(r, cfg, Differential{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTraffic != wantTraffic {
+		t.Fatalf("streamed traffic diverged: %+v vs %+v", gotTraffic, wantTraffic)
+	}
+	if gotStats != wantStats {
+		t.Fatalf("streamed stats diverged: %+v vs %+v", gotStats, wantStats)
+	}
+}
+
+// TestMeasureTrafficCursorPropagatesDecodeError checks a truncated
+// stream errors instead of under-measuring traffic.
+func TestMeasureTrafficCursorPropagatesDecodeError(t *testing.T) {
+	res := workloads.MustRun(workloads.All()[0].Build(1))
+	var bin bytes.Buffer
+	if err := res.Trace.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(bin.Bytes()[:bin.Len()-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.Config{Sets: 16, Ways: 2, LineSize: 32, WriteBack: true, WriteAllocate: true}
+	if _, _, err := MeasureTrafficCursor(r, cfg, Differential{}); err == nil {
+		t.Fatal("truncated stream did not error")
+	}
+}

@@ -1,6 +1,8 @@
 package compress
 
 import (
+	"fmt"
+
 	"lpmem/internal/cache"
 	"lpmem/internal/trace"
 )
@@ -31,6 +33,14 @@ func (t Traffic) Saving() float64 {
 // cache and measures boundary traffic under the codec. The cache is
 // flushed at the end so all dirty lines are accounted.
 func MeasureTraffic(tr *trace.Trace, cfg cache.Config, codec Codec) (Traffic, cache.Stats, error) {
+	return MeasureTrafficCursor(tr.Cursor(), cfg, codec)
+}
+
+// MeasureTrafficCursor is MeasureTraffic over an access stream: the
+// differential-compression traffic of an on-disk binary trace is
+// measured straight off the streaming reader, holding only the cache
+// image in memory.
+func MeasureTrafficCursor(cur trace.Cursor, cfg cache.Config, codec Codec) (Traffic, cache.Stats, error) {
 	backing := cache.NewMapBacking()
 	c, err := cache.New(cfg, backing)
 	if err != nil {
@@ -44,7 +54,10 @@ func MeasureTraffic(tr *trace.Trace, cfg cache.Config, codec Codec) (Traffic, ca
 	}
 	c.OnWriteBack = count
 	c.OnRefill = count
-	stats := c.Replay(tr)
+	stats, err := c.ReplayCursor(cur)
+	if err != nil {
+		return Traffic{}, cache.Stats{}, fmt.Errorf("compress: replaying access stream: %w", err)
+	}
 	c.Flush()
 	return t, stats, nil
 }

@@ -1,0 +1,66 @@
+package partition
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"lpmem/internal/trace"
+)
+
+// TestSpecFromCursorBinaryStreamEquivalence pins streamed profiling to
+// the materialised path: the spec built from a binary serialisation of
+// a trace must equal the one built from the in-memory trace.
+func TestSpecFromCursorBinaryStreamEquivalence(t *testing.T) {
+	tr := trace.Synthesize(trace.SynthConfig{
+		Seed: 9,
+		N:    50000,
+		Regions: []trace.Region{
+			{Base: 0x0, Size: 8 << 10, Weight: 10, Stride: 4},
+			{Base: 0x40000, Size: 128 << 10, Weight: 1},
+		},
+		WriteFraction: 0.4,
+	})
+	wantSpec, wantBases, err := SpecFromTrace(tr, 512, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSpec, gotBases, err := SpecFromCursor(r, 512, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotBases, wantBases) {
+		t.Fatalf("streamed bases diverged: %v vs %v", gotBases, wantBases)
+	}
+	if !reflect.DeepEqual(gotSpec, wantSpec) {
+		t.Fatalf("streamed spec diverged:\n got %+v\nwant %+v", gotSpec, wantSpec)
+	}
+}
+
+// TestSpecFromCursorPropagatesDecodeError checks a corrupt stream is an
+// error, not a silently truncated profile.
+func TestSpecFromCursorPropagatesDecodeError(t *testing.T) {
+	tr := trace.New(4)
+	for i := uint32(0); i < 4; i++ {
+		tr.Append(trace.Access{Addr: i * 64, Kind: trace.Read, Width: 4})
+	}
+	var bin bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(bin.Bytes()[:bin.Len()-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SpecFromCursor(r, 64, 100); err == nil {
+		t.Fatal("truncated stream did not error")
+	}
+}

@@ -155,10 +155,14 @@ type Tolerances struct {
 	AllocFloor uint64
 }
 
-// DefaultTolerances matches the acceptance bar: a >25% slowdown on any
-// experiment fails the check.
+// DefaultTolerances matches the acceptance bar: a >20% slowdown on any
+// experiment fails the check. The percentage was tightened from 25 when
+// the zero-allocation binary replay path landed: with allocation counts
+// now small and stable, less headroom is needed to absorb noise, and a
+// tighter bound catches regressions the old one let through. The alloc
+// floor dropped with it for the same reason.
 func DefaultTolerances() Tolerances {
-	return Tolerances{Pct: 25, WallFloorNS: 20_000_000, AllocFloor: 50_000}
+	return Tolerances{Pct: 20, WallFloorNS: 20_000_000, AllocFloor: 20_000}
 }
 
 // CompareCost checks a live measurement against its baseline record.

@@ -1,0 +1,73 @@
+package trace
+
+// Cursor is a forward, zero-allocation iterator over an access stream.
+// It is the contract the replay loops consume: a cursor yields one
+// access at a time from a reused buffer, so a million-access trace can
+// be replayed without ever materialising a []Access.
+//
+// The canonical loop is
+//
+//	for cur.Next() {
+//		a := cur.Access()
+//		...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// The *Access returned by Access is only valid until the next call to
+// Next: implementations overwrite it in place. Callers that need to
+// retain an access must copy the value.
+type Cursor interface {
+	// Next advances to the next access. It returns false when the
+	// stream is exhausted or a decode error occurred; the two cases are
+	// distinguished by Err.
+	Next() bool
+	// Access returns the current access. It must only be called after a
+	// Next that returned true, and the pointee is overwritten by the
+	// following Next.
+	Access() *Access
+	// Err returns the first error encountered, or nil on clean
+	// exhaustion.
+	Err() error
+}
+
+// SliceCursor iterates an in-memory access slice. It adapts *Trace (and
+// any []Access) to the Cursor contract so the streaming replay paths
+// are the single implementation for both in-memory and on-disk traces.
+type SliceCursor struct {
+	accesses []Access
+	i        int
+}
+
+// Cursor returns a cursor over the trace's accesses.
+func (t *Trace) Cursor() *SliceCursor { return NewSliceCursor(t.Accesses) }
+
+// NewSliceCursor returns a cursor over an access slice.
+func NewSliceCursor(accesses []Access) *SliceCursor {
+	return &SliceCursor{accesses: accesses, i: -1}
+}
+
+// Next advances the cursor.
+func (c *SliceCursor) Next() bool {
+	if c.i+1 >= len(c.accesses) {
+		return false
+	}
+	c.i++
+	return true
+}
+
+// Access returns the current access.
+func (c *SliceCursor) Access() *Access { return &c.accesses[c.i] }
+
+// Err always returns nil: an in-memory slice cannot fail mid-iteration.
+func (c *SliceCursor) Err() error { return nil }
+
+// ForEach drains a cursor, invoking fn for every access. It stops at
+// the first error from fn or from the cursor itself.
+func ForEach(c Cursor, fn func(*Access) error) error {
+	for c.Next() {
+		if err := fn(c.Access()); err != nil {
+			return err
+		}
+	}
+	return c.Err()
+}

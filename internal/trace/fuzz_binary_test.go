@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedBinary encodes a small trace so the fuzzer starts from valid
+// encodings and mutates its way into the interesting corruption space
+// (header, varint boundaries, delta chains, column framing).
+func fuzzSeedBinary(accesses []Access) []byte {
+	t := New(len(accesses))
+	for _, a := range accesses {
+		t.Append(a)
+	}
+	var buf bytes.Buffer
+	if err := t.WriteBinary(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadBinary checks the binary decoder on arbitrary bytes: it must
+// never panic or over-allocate, and any input it accepts must survive a
+// WriteBinary → ReadBinary round-trip bit-identically. The streaming
+// Reader and the materialising ReadBinary must also agree on every
+// input — same accesses on success, and they must agree on whether the
+// input is acceptable at all.
+func FuzzReadBinary(f *testing.F) {
+	valid := fuzzSeedBinary([]Access{
+		{Kind: Read, Addr: 0x10, Width: 4, Value: 0xff},
+		{Kind: Write, Addr: 0x20, Width: 2, Value: 1},
+		{Kind: Fetch, Addr: 0, Width: 4, Value: 0xdeadbeef},
+		{Kind: Read, Addr: 0xffffffff, Width: 1, Value: 0},
+	})
+	f.Add(valid)
+	f.Add(fuzzSeedBinary(nil)) // header-only: the empty trace
+	f.Add(fuzzSeedBinary([]Access{{Kind: Write, Addr: 0xffffffff, Width: 255, Value: 0xffffffff}}))
+
+	// Header corruption: wrong magic, future version, reserved flags,
+	// truncated mid-header.
+	f.Add([]byte("LPMX\x01\x00"))
+	f.Add([]byte("LPMT\x7f\x00"))
+	f.Add([]byte("LPMT\x01\xff"))
+	f.Add([]byte("LPM"))
+
+	// Varint corruption: a block count that never terminates, and one
+	// far beyond maxBlockAccesses.
+	f.Add([]byte("LPMT\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("LPMT\x01\x00\x80\x80\x80\x80\x08"))
+
+	// Delta/framing corruption: flip a byte inside a valid encoding's
+	// column region, and truncate a column mid-way.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-3] ^= 0x55
+	f.Add(flipped)
+	f.Add(valid[:len(valid)-2])
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		t1, err := ReadBinary(bytes.NewReader(input))
+
+		// The streaming Reader must agree with the materialised path.
+		sr, srErr := NewReader(bytes.NewReader(input))
+		if srErr != nil {
+			if err == nil {
+				t.Fatalf("NewReader rejected input ReadBinary accepted: %v", srErr)
+			}
+			return
+		}
+		var streamed []Access
+		for sr.Next() {
+			streamed = append(streamed, *sr.Access())
+		}
+		if (sr.Err() == nil) != (err == nil) {
+			t.Fatalf("stream/materialise disagree: Reader err %v, ReadBinary err %v", sr.Err(), err)
+		}
+		if err != nil {
+			return // rejected input: only no-panic and agreement are required
+		}
+		if len(streamed) != len(t1.Accesses) {
+			t.Fatalf("stream decoded %d accesses, materialise %d", len(streamed), len(t1.Accesses))
+		}
+		for i := range streamed {
+			if streamed[i] != t1.Accesses[i] {
+				t.Fatalf("access %d diverged: stream %+v, materialise %+v", i, streamed[i], t1.Accesses[i])
+			}
+		}
+
+		// Accepted input must round-trip bit-identically through the
+		// canonical encoder.
+		var buf bytes.Buffer
+		if err := t1.WriteBinary(&buf); err != nil {
+			t.Fatalf("WriteBinary on decoded trace: %v", err)
+		}
+		t2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-read of WriteBinary output: %v", err)
+		}
+		if len(t1.Accesses) != len(t2.Accesses) {
+			t.Fatalf("round-trip length %d -> %d", len(t1.Accesses), len(t2.Accesses))
+		}
+		for i := range t1.Accesses {
+			if t1.Accesses[i] != t2.Accesses[i] {
+				t.Fatalf("access %d changed: %+v -> %+v", i, t1.Accesses[i], t2.Accesses[i])
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -150,17 +151,34 @@ type Profile struct {
 // blockSize must be a power of two; ProfileOf panics otherwise, because a
 // non-power-of-two granularity is always a programming error.
 func ProfileOf(t *Trace, blockSize uint32) *Profile {
-	if blockSize == 0 || blockSize&(blockSize-1) != 0 {
+	p, err := ProfileOfCursor(t.Cursor(), blockSize)
+	if err != nil {
+		// A SliceCursor cannot fail mid-stream, so the only error here is
+		// the geometry guard documented above.
 		//lint:allow panicfree documented programming-error guard, per the doc comment above
-		panic(fmt.Sprintf("trace: block size %d is not a power of two", blockSize))
+		panic(err)
+	}
+	return p
+}
+
+// ProfileOfCursor aggregates an access stream into per-block counts
+// without materialising the trace; it is ProfileOf for streamed (e.g.
+// binary on-disk) traces. Bad geometry and stream decode failures are
+// reported as errors.
+func ProfileOfCursor(c Cursor, blockSize uint32) (*Profile, error) {
+	if blockSize == 0 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("trace: block size %d is not a power of two", blockSize)
 	}
 	p := &Profile{Counts: make(map[uint32]uint64), BlockSize: blockSize}
 	mask := ^(blockSize - 1)
-	for _, a := range t.Accesses {
-		p.Counts[a.Addr&mask]++
+	for c.Next() {
+		p.Counts[c.Access().Addr&mask]++
 		p.Total++
 	}
-	return p
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Blocks returns the profiled block addresses in ascending order.
@@ -218,10 +236,19 @@ func (t *Trace) WriteText(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxTextLine bounds a single line of the text format. The default
+// bufio.Scanner limit (64 KiB) is plenty for well-formed lines (four
+// short fields), but garbage or machine-generated input used to die
+// with an unhelpful "bufio.Scanner: token too long"; the explicit
+// buffer raises the ceiling and lets ReadText attribute the failure to
+// a line number.
+const maxTextLine = 1 << 20
+
 // ReadText parses the format produced by WriteText.
 func ReadText(r io.Reader) (*Trace, error) {
 	t := New(1024)
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTextLine)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -252,7 +279,10 @@ func ReadText(r io.Reader) (*Trace, error) {
 		t.Append(Access{Addr: uint32(addr), Value: uint32(value), Width: uint8(width), Kind: kind})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("trace: line %d: line longer than %d bytes: %w", line+1, maxTextLine, err)
+		}
+		return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
 	}
 	return t, nil
 }

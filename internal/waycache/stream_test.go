@@ -1,0 +1,69 @@
+package waycache
+
+import (
+	"bytes"
+	"testing"
+
+	"lpmem/internal/cache"
+	"lpmem/internal/energy"
+	"lpmem/internal/trace"
+)
+
+// TestSimulateCursorBinaryStreamEquivalence pins the streaming fast
+// path to the materialised one: replaying the binary serialisation of a
+// trace through SimulateCursor must reproduce Simulate bit-for-bit —
+// same coverage, same energies, same hit rate.
+func TestSimulateCursorBinaryStreamEquivalence(t *testing.T) {
+	tr := trace.Synthesize(trace.SynthConfig{
+		Seed: 3,
+		N:    20000,
+		Regions: []trace.Region{
+			{Base: 0x1000, Size: 16 << 10, Weight: 4, Stride: 4},
+			{Base: 0x80000, Size: 256 << 10, Weight: 1},
+		},
+		WriteFraction: 0.25,
+	})
+	cfg := cache.Config{Sets: 32, Ways: 8, LineSize: 32, WriteBack: true, WriteAllocate: true}
+	cm := energy.DefaultCacheModel()
+	want, err := Simulate(tr, cfg, 16, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateCursor(r, cfg, 16, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streamed result diverged from materialised:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSimulateCursorPropagatesDecodeError checks a truncated binary
+// stream surfaces as an error, not a silently short simulation.
+func TestSimulateCursorPropagatesDecodeError(t *testing.T) {
+	tr := trace.Synthesize(trace.SynthConfig{
+		Seed: 4, N: 1000,
+		Regions:       []trace.Region{{Base: 0, Size: 4096, Weight: 1, Stride: 4}},
+		WriteFraction: 0.5,
+	})
+	var bin bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(bin.Bytes()[:bin.Len()-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.Config{Sets: 16, Ways: 4, LineSize: 16, WriteBack: true, WriteAllocate: true}
+	if _, err := SimulateCursor(r, cfg, 8, energy.DefaultCacheModel()); err == nil {
+		t.Fatal("truncated stream did not error")
+	}
+}

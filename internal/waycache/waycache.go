@@ -118,6 +118,13 @@ func (r Result) Saving() float64 {
 // Simulate replays the data accesses of tr through an N-way cache with a
 // WDU of wduEntries entries and accounts energy under cm.
 func Simulate(tr *trace.Trace, cfg cache.Config, wduEntries int, cm energy.CacheModel) (Result, error) {
+	return SimulateCursor(tr.Cursor(), cfg, wduEntries, cm)
+}
+
+// SimulateCursor is Simulate over an access stream: the WDU evaluation
+// of an on-disk binary trace runs directly off the streaming reader's
+// reused buffer, without materialising the trace.
+func SimulateCursor(cur trace.Cursor, cfg cache.Config, wduEntries int, cm energy.CacheModel) (Result, error) {
 	c, err := cache.New(cfg, nil)
 	if err != nil {
 		return Result{}, err
@@ -128,7 +135,8 @@ func Simulate(tr *trace.Trace, cfg cache.Config, wduEntries int, cm energy.Cache
 	}
 	lineMask := ^(uint32(cfg.LineSize) - 1)
 	var base, directed energy.PJ
-	for _, a := range tr.Accesses {
+	for cur.Next() {
+		a := cur.Access()
 		if a.Kind == trace.Fetch {
 			continue
 		}
@@ -153,6 +161,9 @@ func Simulate(tr *trace.Trace, cfg cache.Config, wduEntries int, cm energy.Cache
 		} else if !known {
 			wdu.Record(lineBase, res.Way)
 		}
+	}
+	if err := cur.Err(); err != nil {
+		return Result{}, fmt.Errorf("waycache: replaying access stream: %w", err)
 	}
 	st := c.Stats()
 	return Result{

@@ -3,12 +3,13 @@
 # are attributable to one step and local iteration can run just what it
 # needs:
 #
-#   ./scripts/ci.sh                 # all = fmt vet lint build test chaos fuzz sweep
+#   ./scripts/ci.sh                 # all = fmt vet lint build test chaos fuzz trace sweep
 #   ./scripts/ci.sh fmt vet         # any subset, in the order given
 #   ./scripts/ci.sh quick           # fmt vet lint build + tests WITHOUT -race
 #   ./scripts/ci.sh bench           # lpmembench -check against committed baselines
 #   ./scripts/ci.sh chaos           # seeded fault-injection sweep of the registry
 #   ./scripts/ci.sh fuzz            # short smoke of every native fuzz target
+#   ./scripts/ci.sh trace           # binary/text trace round-trip + replay gate
 #   ./scripts/ci.sh sweep           # design-space sweep resume/determinism gate
 #
 # The race run is the correctness backstop for the concurrent experiment
@@ -21,6 +22,10 @@
 # well-formed partial reports, deterministic fault placement) gate every
 # change to the runner/service stack. `fuzz` runs each fuzz target for a
 # few seconds on top of its checked-in corpus — a smoke, not a campaign.
+# `trace` is the binary-format gate: every testdata/traces/*.txt file
+# and a few kernel dumps are converted text -> binary -> text and must
+# come back byte-identical, and both formats must replay through the
+# cache to identical statistics under two geometries.
 # `sweep` runs the banks and memtech design-space sweeps twice against
 # one result store each and fails unless the second run re-executes zero
 # points and prints a byte-identical Pareto frontier — the
@@ -112,8 +117,54 @@ stage_fuzz() {
     # One target per invocation: go test only allows a single -fuzz
     # pattern to actually fuzz at a time.
     go test -run='^$' -fuzz='^FuzzReadText$' -fuzztime=10s ./internal/trace/
+    go test -run='^$' -fuzz='^FuzzReadBinary$' -fuzztime=10s ./internal/trace/
     go test -run='^$' -fuzz='^FuzzDifferentialRoundTrip$' -fuzztime=10s ./internal/compress/
     go test -run='^$' -fuzz='^FuzzDecompress$' -fuzztime=10s ./internal/compress/
+}
+
+stage_trace() {
+    echo "== trace format gate (lossless interconversion + replay equivalence)"
+    go build -o "$BIN/lpmem" ./cmd/lpmem
+    local dir name txt
+    dir=$(mktemp -d)
+    # Gate inputs: every checked-in text trace, plus a few kernel dumps
+    # so the binary path is also exercised on real generated traces.
+    cp testdata/traces/*.txt "$dir/"
+    for kernel in dct matmul hashlookup; do
+        "$BIN/lpmem" trace "$kernel" >"$dir/kernel-$kernel.txt"
+    done
+    for txt in "$dir"/*.txt; do
+        name=$(basename "$txt" .txt)
+        # Canonical text form: comments/whitespace dropped, one access
+        # per line. Round-trips are compared against this, not the raw
+        # file, so hand-written traces may carry comments.
+        "$BIN/lpmem" trace cat "$txt" >"$dir/$name.canon"
+        # text -> binary -> text must be byte-identical to the canon.
+        "$BIN/lpmem" trace convert -i "$txt" -o "$dir/$name.lpmt"
+        "$BIN/lpmem" trace convert -i "$dir/$name.lpmt" -o "$dir/$name.rt"
+        if ! cmp -s "$dir/$name.canon" "$dir/$name.rt"; then
+            echo "trace $name: text->binary->text round-trip not byte-identical" >&2
+            diff -u "$dir/$name.canon" "$dir/$name.rt" >&2 || true
+            rm -rf "$dir"
+            exit 1
+        fi
+        # Both formats must replay to identical cache statistics, under
+        # the default geometry and a deliberately different one.
+        for flags in "" "-sets 16 -ways 2 -line 16 -write-through"; do
+            # shellcheck disable=SC2086
+            "$BIN/lpmem" trace replay $flags "$txt" >"$dir/$name.stats.txt"
+            # shellcheck disable=SC2086
+            "$BIN/lpmem" trace replay $flags "$dir/$name.lpmt" >"$dir/$name.stats.bin"
+            if ! cmp -s "$dir/$name.stats.txt" "$dir/$name.stats.bin"; then
+                echo "trace $name: replay stats diverged between formats (flags: ${flags:-default})" >&2
+                diff -u "$dir/$name.stats.txt" "$dir/$name.stats.bin" >&2 || true
+                rm -rf "$dir"
+                exit 1
+            fi
+        done
+        echo "  $name: round-trip identical, replay identical"
+    done
+    rm -rf "$dir"
 }
 
 stage_sweep() {
@@ -153,11 +204,12 @@ run_stage() {
         bench) stage_bench ;;
         chaos) stage_chaos ;;
         fuzz)  stage_fuzz ;;
+        trace) stage_trace ;;
         sweep) stage_sweep ;;
         quick) stage_fmt; stage_vet; stage_lint_quick; stage_build; stage_test_norace ;;
-        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test; stage_chaos; stage_fuzz; stage_sweep ;;
+        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test; stage_chaos; stage_fuzz; stage_trace; stage_sweep ;;
         *)
-            echo "usage: $0 [fmt|vet|lint|build|test|bench|chaos|fuzz|sweep|quick|all] ..." >&2
+            echo "usage: $0 [fmt|vet|lint|build|test|bench|chaos|fuzz|trace|sweep|quick|all] ..." >&2
             exit 2
             ;;
     esac

@@ -155,6 +155,15 @@ func BenchmarkE22PowerGating(b *testing.B) { benchExperiment(b, "E22") }
 // BenchmarkE23DRAMBanking regenerates the DRAM row-buffer locality table.
 func BenchmarkE23DRAMBanking(b *testing.B) { benchExperiment(b, "E23") }
 
+// BenchmarkE24SharingPatterns regenerates the CMP sharing-pattern table.
+func BenchmarkE24SharingPatterns(b *testing.B) { benchExperiment(b, "E24") }
+
+// BenchmarkE25NUCAMapping regenerates the static-vs-distance mapping table.
+func BenchmarkE25NUCAMapping(b *testing.B) { benchExperiment(b, "E25") }
+
+// BenchmarkE26NUCACompression regenerates the compression-capacity table.
+func BenchmarkE26NUCACompression(b *testing.B) { benchExperiment(b, "E26") }
+
 // TestAllExperimentsRun is the integration test: every experiment in the
 // registry must run to completion and produce a non-empty table and a
 // summary mentioning the paper.

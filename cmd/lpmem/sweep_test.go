@@ -123,7 +123,7 @@ func TestSweepListAndErrors(t *testing.T) {
 	if code := runSweep([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exit %d", code)
 	}
-	for _, want := range []string{"banks", "cache", "bus", "memhier"} {
+	for _, want := range []string{"banks", "cache", "bus", "memhier", "memtech", "nuca"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output misses %q:\n%s", want, out.String())
 		}

@@ -207,6 +207,8 @@ func traceInfo(args []string, stdout, stderr io.Writer) int {
 	var total uint64
 	var lo, hi uint32
 	var blocks uint64
+	var maxCore uint8
+	multiCore := false
 	scan := func(a *trace.Access) {
 		if a.Kind <= trace.Fetch {
 			counts[a.Kind]++
@@ -216,6 +218,9 @@ func traceInfo(args []string, stdout, stderr io.Writer) int {
 		}
 		if total == 0 || a.Addr > hi {
 			hi = a.Addr
+		}
+		if a.Core > maxCore {
+			maxCore = a.Core
 		}
 		total++
 	}
@@ -233,6 +238,7 @@ func traceInfo(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		blocks = tr.Blocks()
+		multiCore = tr.MultiCore()
 		fmt.Fprintf(stdout, "format:     binary (LPMT v%d)\n", tr.Version())
 	} else {
 		t, err := trace.ReadText(br)
@@ -243,7 +249,11 @@ func traceInfo(args []string, stdout, stderr io.Writer) int {
 		for i := range t.Accesses {
 			scan(&t.Accesses[i])
 		}
+		multiCore = t.MultiCore
 		fmt.Fprintf(stdout, "format:     text\n")
+	}
+	if multiCore {
+		fmt.Fprintf(stdout, "cores:      %d (multi-core)\n", int(maxCore)+1)
 	}
 	fmt.Fprintf(stdout, "accesses:   %d\n", total)
 	fmt.Fprintf(stdout, "reads:      %d\n", counts[trace.Read])

@@ -11,7 +11,7 @@ import (
 // tables to the code that produced them. Bump it whenever an experiment
 // harness or one of its substrates changes behaviour, so a long-lived
 // lpmemd process can never serve stale results after a redeploy.
-const RegistryVersion = "2026-08-06.1"
+const RegistryVersion = "2026-08-07.1"
 
 // Engine is the experiment-typed instantiation of the generic concurrent
 // runner: bounded worker pool, per-experiment timeouts and cancellation,

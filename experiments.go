@@ -173,6 +173,24 @@ func Experiments() []Experiment {
 			PaperClaim: "banking converts row conflicts to open-row hits at standby-power cost (arXiv 1805.09127)",
 			Run:        runE23,
 		},
+		{
+			ID:         "E24",
+			Title:      "Shared-LLC sensitivity to CMP sharing patterns",
+			PaperClaim: "shared working sets keep one LLC copy for all cores; private sets split capacity (arXiv 2201.00774)",
+			Run:        runE24,
+		},
+		{
+			ID:         "E25",
+			Title:      "Static vs distance-aware NUCA bank mapping",
+			PaperClaim: "bank distance is a first-order NUCA latency term; locality mapping recovers it (arXiv 2201.00774)",
+			Run:        runE25,
+		},
+		{
+			ID:         "E26",
+			Title:      "Compression policy vs NUCA effective capacity",
+			PaperClaim: "line compression enlarges effective LLC capacity, converting misses to hits (arXiv 2201.00774)",
+			Run:        runE26,
+		},
 	}
 }
 

@@ -74,12 +74,12 @@ func TestProfileAppsDeterministic(t *testing.T) {
 	}
 }
 
-// TestRegistryComplete: IDs are unique, contiguous E1..E23, and all
+// TestRegistryComplete: IDs are unique, contiguous E1..E26, and all
 // runnable functions are set.
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(exps))
+	if len(exps) != 26 {
+		t.Fatalf("registry has %d experiments, want 26", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -82,6 +82,34 @@ func (Differential) Compress(line []byte) []byte {
 	return out
 }
 
+// CompressedSize returns len(Differential{}.Compress(line)) without
+// building the encoding. The compressed-NUCA replay sizes every line on
+// every dirty update, so the sizing pass must not allocate.
+func CompressedSize(line []byte) int {
+	if len(line) < 4 || len(line)%4 != 0 {
+		//lint:allow panicfree line length is fixed by the cache geometry in code, never by runtime input
+		panic(fmt.Sprintf("compress: line length %d is not a positive multiple of 4", len(line)))
+	}
+	words := len(line) / 4
+	size := (2*(words-1)+7)/8 + 4
+	prev := binary.LittleEndian.Uint32(line[:4])
+	for i := 1; i < words; i++ {
+		cur := binary.LittleEndian.Uint32(line[i*4:])
+		delta := int32(cur - prev)
+		switch {
+		case delta == 0:
+		case delta >= -128 && delta <= 127:
+			size++
+		case delta >= -32768 && delta <= 32767:
+			size += 2
+		default:
+			size += 4
+		}
+		prev = cur
+	}
+	return size
+}
+
 // Decompress reverses Compress.
 func (Differential) Decompress(enc []byte, lineSize int) ([]byte, error) {
 	if lineSize < 4 || lineSize%4 != 0 {

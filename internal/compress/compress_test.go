@@ -44,6 +44,29 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestCompressedSizeMatchesCompress: the zero-alloc sizing pass must
+// agree exactly with the real encoder on any line.
+func TestCompressedSizeMatchesCompress(t *testing.T) {
+	d := Differential{}
+	f := func(line [32]byte) bool {
+		return CompressedSize(line[:]) == len(d.Compress(line[:]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// And on the non-32-byte lengths the quick.Check shape misses.
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{4, 8, 12, 64, 128} {
+		line := make([]byte, n)
+		for trial := 0; trial < 50; trial++ {
+			r.Read(line)
+			if got, want := CompressedSize(line), len(d.Compress(line)); got != want {
+				t.Fatalf("len %d: CompressedSize %d != encoder %d", n, got, want)
+			}
+		}
+	}
+}
+
 // TestSmoothDataCompressesWell: slowly varying words (DSP-like) should
 // compress to well under half the original size.
 func TestSmoothDataCompressesWell(t *testing.T) {

@@ -61,6 +61,11 @@ func (m Mesh) dist(a, b int) int {
 	return dx + dy
 }
 
+// Dist is the Manhattan distance between two tiles. It is exported for
+// the NUCA bank-distance latency model, which charges hops between a
+// core's tile and the bank that holds its line.
+func (m Mesh) Dist(a, b int) int { return m.dist(a, b) }
+
 // BitEnergy returns e_bit for a path of h hops.
 func (m Mesh) BitEnergy(h int) energy.PJ {
 	return energy.PJ(h+1)*m.ERbit + energy.PJ(h)*m.ELbit

@@ -10,13 +10,18 @@ package trace
 // (columnar layout) and each column can use the encoding its
 // distribution wants:
 //
-//	header:  "LPMT" magic | version byte (1) | flags byte (0)
+//	header:  "LPMT" magic | version byte (1) | flags byte
 //	block:   uvarint n (accesses in block, n >= 1)
 //	         column kind:  uvarint len | ceil(2n/8) bytes, 2-bit codes
 //	         column addr:  uvarint len | n x varint zigzag(addr delta)
 //	         column width: uvarint len | n x uvarint width
 //	         column value: uvarint len | n x uvarint (value XOR prev)
+//	         column core:  uvarint len | n raw bytes   (flag bit 0 only)
 //	eof:     clean end of input at a block boundary
+//
+// The flags byte carries format extensions within version 1: bit 0
+// (FlagMultiCore) marks a multi-core trace and adds the per-access core
+// column to every block. All other bits are reserved and rejected.
 //
 // Addresses are delta-encoded against the previous access in the block
 // (starting from zero), which turns strided walks and hot loops into
@@ -53,6 +58,11 @@ const (
 	maxBlockAccesses = 1 << 20
 	// headerLen is magic + version + flags.
 	headerLen = len(binaryMagic) + 2
+	// FlagMultiCore marks a trace whose blocks carry the per-access
+	// core-ID column (Trace.MultiCore round-trips through it).
+	FlagMultiCore = 0x01
+	// knownFlags is the mask of flag bits version 1 defines.
+	knownFlags = FlagMultiCore
 )
 
 // HasBinaryMagic reports whether p starts with the binary trace magic.
@@ -75,24 +85,38 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 type BinaryWriter struct {
 	w   *bufio.Writer
 	err error
+	// multiCore selects the core-column layout; fixed at construction
+	// because it is written into the header flags.
+	multiCore bool
 	// pending is the current un-encoded block.
 	pending []Access
 	// Per-column encode buffers, reused across blocks.
-	kindBuf, addrBuf, widthBuf, valueBuf, varBuf []byte
+	kindBuf, addrBuf, widthBuf, valueBuf, coreBuf, varBuf []byte
 }
 
-// NewBinaryWriter writes the format header and returns a streaming
-// writer. The header write is deferred to the first Write/Flush so a
-// construction-then-abandon leaves w untouched on error paths.
-func NewBinaryWriter(w io.Writer) *BinaryWriter {
+// NewBinaryWriter returns a streaming writer for a single-core trace;
+// any access carrying a non-zero Core ID is rejected so core
+// information can never be dropped silently.
+func NewBinaryWriter(w io.Writer) *BinaryWriter { return newBinaryWriter(w, false) }
+
+// NewMultiCoreBinaryWriter returns a streaming writer that persists the
+// per-access core IDs (header flag FlagMultiCore, core column in every
+// block).
+func NewMultiCoreBinaryWriter(w io.Writer) *BinaryWriter { return newBinaryWriter(w, true) }
+
+func newBinaryWriter(w io.Writer, multiCore bool) *BinaryWriter {
 	bw := &BinaryWriter{
-		w:        bufio.NewWriter(w),
-		pending:  make([]Access, 0, blockAccesses),
-		kindBuf:  make([]byte, 0, blockAccesses/4+1),
-		addrBuf:  make([]byte, 0, blockAccesses*binary.MaxVarintLen64),
-		widthBuf: make([]byte, 0, blockAccesses*2),
-		valueBuf: make([]byte, 0, blockAccesses*binary.MaxVarintLen32),
-		varBuf:   make([]byte, binary.MaxVarintLen64),
+		w:         bufio.NewWriter(w),
+		multiCore: multiCore,
+		pending:   make([]Access, 0, blockAccesses),
+		kindBuf:   make([]byte, 0, blockAccesses/4+1),
+		addrBuf:   make([]byte, 0, blockAccesses*binary.MaxVarintLen64),
+		widthBuf:  make([]byte, 0, blockAccesses*2),
+		valueBuf:  make([]byte, 0, blockAccesses*binary.MaxVarintLen32),
+		varBuf:    make([]byte, binary.MaxVarintLen64),
+	}
+	if multiCore {
+		bw.coreBuf = make([]byte, 0, blockAccesses)
 	}
 	bw.err = bw.writeHeader()
 	return bw
@@ -105,7 +129,11 @@ func (bw *BinaryWriter) writeHeader() error {
 	if err := bw.w.WriteByte(BinaryVersion); err != nil {
 		return fmt.Errorf("trace: writing binary header: %w", err)
 	}
-	if err := bw.w.WriteByte(0); err != nil { // flags, reserved
+	var flags byte
+	if bw.multiCore {
+		flags |= FlagMultiCore
+	}
+	if err := bw.w.WriteByte(flags); err != nil {
 		return fmt.Errorf("trace: writing binary header: %w", err)
 	}
 	return nil
@@ -120,6 +148,11 @@ func (bw *BinaryWriter) Write(a Access) error {
 	if a.Kind > Fetch {
 		//lint:allow hotalloc cold rejection path: formats once, then every later Write returns the stored error
 		bw.err = fmt.Errorf("trace: cannot encode access kind %d in binary format", a.Kind)
+		return bw.err
+	}
+	if !bw.multiCore && a.Core != 0 {
+		//lint:allow hotalloc cold rejection path: formats once, then every later Write returns the stored error
+		bw.err = fmt.Errorf("trace: access with core ID %d in a single-core stream (use NewMultiCoreBinaryWriter)", a.Core)
 		return bw.err
 	}
 	bw.pending = append(bw.pending, a)
@@ -162,6 +195,7 @@ func (bw *BinaryWriter) encodeBlock() error {
 	bw.addrBuf = bw.addrBuf[:0]
 	bw.widthBuf = bw.widthBuf[:0]
 	bw.valueBuf = bw.valueBuf[:0]
+	bw.coreBuf = bw.coreBuf[:0]
 	var prevAddr, prevVal uint32
 	for i := range accs {
 		a := &accs[i]
@@ -169,13 +203,21 @@ func (bw *BinaryWriter) encodeBlock() error {
 		bw.addrBuf = bw.putUvarint(bw.addrBuf, zigzag(int64(a.Addr)-int64(prevAddr)))
 		bw.widthBuf = bw.putUvarint(bw.widthBuf, uint64(a.Width))
 		bw.valueBuf = bw.putUvarint(bw.valueBuf, uint64(a.Value^prevVal))
+		if bw.multiCore {
+			bw.coreBuf = append(bw.coreBuf, a.Core)
+		}
 		prevAddr = a.Addr
 		prevVal = a.Value
 	}
 	if err := bw.writeChunk(uint64(len(accs)), nil); err != nil {
 		return err
 	}
-	for _, col := range [...][]byte{bw.kindBuf, bw.addrBuf, bw.widthBuf, bw.valueBuf} {
+	cols := [...][]byte{bw.kindBuf, bw.addrBuf, bw.widthBuf, bw.valueBuf, bw.coreBuf}
+	n := len(cols)
+	if !bw.multiCore {
+		n-- // no core column in a single-core stream
+	}
+	for _, col := range cols[:n] {
 		if err := bw.writeChunk(uint64(len(col)), col); err != nil {
 			return err
 		}
@@ -198,9 +240,10 @@ func (bw *BinaryWriter) writeChunk(v uint64, payload []byte) error {
 	return nil
 }
 
-// WriteBinary serialises the trace in the binary columnar format.
+// WriteBinary serialises the trace in the binary columnar format. A
+// MultiCore trace writes the core-column layout (FlagMultiCore).
 func (t *Trace) WriteBinary(w io.Writer) error {
-	bw := NewBinaryWriter(w)
+	bw := newBinaryWriter(w, t.MultiCore)
 	for _, a := range t.Accesses {
 		if err := bw.Write(a); err != nil {
 			return err
@@ -215,18 +258,19 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 // in buffers reused across blocks, so iteration performs zero
 // per-access allocations.
 type Reader struct {
-	br   *bufio.Reader
-	err  error
-	done bool
-	a    Access
+	br        *bufio.Reader
+	err       error
+	done      bool
+	multiCore bool
+	a         Access
 
 	// Current block: raw column bytes and decode positions.
-	n, i                 int
-	kinds                []byte
-	addrs, widths, vals  []byte
-	ap, wp, vp           int
-	prevAddr, prevVal    uint32
-	blocks, accessesRead uint64
+	n, i                       int
+	kinds                      []byte
+	addrs, widths, vals, cores []byte
+	ap, wp, vp                 int
+	prevAddr, prevVal          uint32
+	blocks, accessesRead       uint64
 }
 
 // NewReader validates the header and returns a streaming reader
@@ -243,14 +287,18 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if v := hdr[len(binaryMagic)]; v != BinaryVersion {
 		return nil, fmt.Errorf("trace: unsupported binary trace version %d (reader supports %d)", v, BinaryVersion)
 	}
-	if f := hdr[len(binaryMagic)+1]; f != 0 {
-		return nil, fmt.Errorf("trace: unsupported binary trace flags %#x (version %d defines none)", f, BinaryVersion)
+	if f := hdr[len(binaryMagic)+1]; f&^knownFlags != 0 {
+		return nil, fmt.Errorf("trace: unsupported binary trace flags %#x (version %d defines %#x)", f, BinaryVersion, knownFlags)
 	}
-	return &Reader{br: br}, nil
+	return &Reader{br: br, multiCore: hdr[len(binaryMagic)+1]&FlagMultiCore != 0}, nil
 }
 
 // Version returns the format version of the open stream.
 func (r *Reader) Version() int { return BinaryVersion }
+
+// MultiCore reports whether the stream carries per-access core IDs
+// (header flag FlagMultiCore).
+func (r *Reader) MultiCore() bool { return r.multiCore }
 
 // Blocks returns the number of blocks decoded so far.
 func (r *Reader) Blocks() uint64 { return r.blocks }
@@ -305,7 +353,11 @@ func (r *Reader) Next() bool {
 	r.vp += nb
 	r.prevAddr = uint32(addr)
 	r.prevVal = uint32(vu) ^ r.prevVal
-	r.a = Access{Addr: r.prevAddr, Value: r.prevVal, Width: uint8(wu), Kind: Kind(code)}
+	var core uint8
+	if r.multiCore {
+		core = r.cores[i]
+	}
+	r.a = Access{Addr: r.prevAddr, Value: r.prevVal, Width: uint8(wu), Kind: Kind(code), Core: core}
 	r.i++
 	r.accessesRead++
 	if r.i == r.n {
@@ -369,6 +421,14 @@ func (r *Reader) loadBlock() bool {
 		r.err = err
 		return false
 	}
+	if r.multiCore {
+		// Core IDs are raw bytes, so the column length is exactly n;
+		// readColumn's bounds make the framing check implicit.
+		if r.cores, err = r.readColumn("core", r.cores, n, n); err != nil {
+			r.err = err
+			return false
+		}
+	}
 	r.n, r.i = n, 0
 	r.ap, r.wp, r.vp = 0, 0, 0
 	r.prevAddr, r.prevVal = 0, 0
@@ -416,6 +476,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	t := New(1024)
+	t.MultiCore = br.MultiCore()
 	for br.Next() {
 		t.Append(*br.Access())
 	}

@@ -160,7 +160,8 @@ func TestBinaryCorruptionDetected(t *testing.T) {
 	}{
 		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
 		{"future version", func(b []byte) []byte { b[4] = 99; return b }},
-		{"nonzero flags", func(b []byte) []byte { b[5] = 1; return b }},
+		{"reserved flags", func(b []byte) []byte { b[5] = 2; return b }},
+		{"core flag without core column", func(b []byte) []byte { b[5] = FlagMultiCore; return b }},
 		{"truncated header", func(b []byte) []byte { return b[:3] }},
 		{"truncated mid-block", func(b []byte) []byte { return b[:len(b)-7] }},
 		{"trailing garbage block", func(b []byte) []byte { return append(b, 0xff, 0xff, 0xff) }},

@@ -9,7 +9,14 @@ import (
 // encodings and mutates its way into the interesting corruption space
 // (header, varint boundaries, delta chains, column framing).
 func fuzzSeedBinary(accesses []Access) []byte {
+	return fuzzSeedBinaryFlagged(accesses, false)
+}
+
+// fuzzSeedBinaryFlagged is fuzzSeedBinary with an explicit MultiCore
+// flag, seeding the five-column (core column) encoding path.
+func fuzzSeedBinaryFlagged(accesses []Access, multiCore bool) []byte {
 	t := New(len(accesses))
+	t.MultiCore = multiCore
 	for _, a := range accesses {
 		t.Append(a)
 	}
@@ -36,6 +43,15 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(valid)
 	f.Add(fuzzSeedBinary(nil)) // header-only: the empty trace
 	f.Add(fuzzSeedBinary([]Access{{Kind: Write, Addr: 0xffffffff, Width: 255, Value: 0xffffffff}}))
+
+	// Multi-core encodings: flag bit 0 set, fifth (core) column present.
+	f.Add(fuzzSeedBinaryFlagged([]Access{
+		{Kind: Read, Addr: 0x10, Width: 4, Value: 0xff, Core: 0},
+		{Kind: Write, Addr: 0x20, Width: 2, Value: 1, Core: 3},
+		{Kind: Read, Addr: 0x24, Width: 4, Value: 2, Core: 255},
+		{Kind: Fetch, Addr: 0x100, Width: 4, Value: 3, Core: 1},
+	}, true))
+	f.Add(fuzzSeedBinaryFlagged(nil, true)) // flagged empty trace
 
 	// Header corruption: wrong magic, future version, reserved flags,
 	// truncated mid-header.
@@ -77,6 +93,9 @@ func FuzzReadBinary(f *testing.F) {
 		if err != nil {
 			return // rejected input: only no-panic and agreement are required
 		}
+		if sr.MultiCore() != t1.MultiCore {
+			t.Fatalf("stream/materialise disagree on MultiCore: %v vs %v", sr.MultiCore(), t1.MultiCore)
+		}
 		if len(streamed) != len(t1.Accesses) {
 			t.Fatalf("stream decoded %d accesses, materialise %d", len(streamed), len(t1.Accesses))
 		}
@@ -95,6 +114,9 @@ func FuzzReadBinary(f *testing.F) {
 		t2, err := ReadBinary(&buf)
 		if err != nil {
 			t.Fatalf("re-read of WriteBinary output: %v", err)
+		}
+		if t1.MultiCore != t2.MultiCore {
+			t.Fatalf("round-trip changed MultiCore: %v -> %v", t1.MultiCore, t2.MultiCore)
 		}
 		if len(t1.Accesses) != len(t2.Accesses) {
 			t.Fatalf("round-trip length %d -> %d", len(t1.Accesses), len(t2.Accesses))

@@ -69,11 +69,21 @@ type Access struct {
 	Width uint8
 	// Kind is the access type.
 	Kind Kind
+	// Core identifies the issuing core in a multi-core interleaved
+	// trace. Single-core traces leave it zero; it is serialised (text
+	// fifth field, LPMT core column) only when Trace.MultiCore is set.
+	Core uint8
 }
 
 // Trace is an ordered sequence of accesses.
 type Trace struct {
 	Accesses []Access
+	// MultiCore marks a per-core annotated trace: accesses carry
+	// meaningful Core IDs and both serialisation formats persist them.
+	// The flag — not the presence of non-zero Core values — decides the
+	// on-disk representation, so a multi-core trace in which every
+	// access happens to come from core 0 still round-trips losslessly.
+	MultiCore bool
 }
 
 // New returns an empty trace with the given capacity hint.
@@ -91,12 +101,29 @@ func (t *Trace) Len() int { return len(t.Accesses) }
 // returns true. The receiver is unmodified.
 func (t *Trace) Filter(keep func(Access) bool) *Trace {
 	out := New(len(t.Accesses) / 2)
+	out.MultiCore = t.MultiCore
 	for _, a := range t.Accesses {
 		if keep(a) {
 			out.Append(a)
 		}
 	}
 	return out
+}
+
+// CoreCount returns the number of cores the trace was generated for:
+// max Core + 1 for a multi-core trace, 1 otherwise (including the empty
+// multi-core trace, which still has the implicit core 0).
+func (t *Trace) CoreCount() int {
+	if !t.MultiCore {
+		return 1
+	}
+	max := uint8(0)
+	for i := range t.Accesses {
+		if t.Accesses[i].Core > max {
+			max = t.Accesses[i].Core
+		}
+	}
+	return int(max) + 1
 }
 
 // Data returns the sub-trace of loads and stores (no fetches).
@@ -109,6 +136,7 @@ func (t *Trace) Data() *Trace {
 // permutation of the address space and Remap applies it.
 func (t *Trace) Remap(f func(uint32) uint32) *Trace {
 	out := New(len(t.Accesses))
+	out.MultiCore = t.MultiCore
 	for _, a := range t.Accesses {
 		a.Addr = f(a.Addr)
 		out.Append(a)
@@ -212,13 +240,17 @@ func (p *Profile) Hot(n int) []uint32 {
 //
 //	<kind> <addr-hex> <width> <value-hex>
 //
+// A multi-core trace appends a fifth field, the decimal core ID:
+//
+//	<kind> <addr-hex> <width> <value-hex> <core>
+//
 // The format is intentionally trivial so traces can be inspected, diffed
 // and crafted by hand in tests.
 func (t *Trace) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	// strconv.Append* into one reused buffer: serialising a trace is one
 	// write per access, and fmt's boxing used to dominate the profile.
-	buf := make([]byte, 0, 32)
+	buf := make([]byte, 0, 36)
 	for _, a := range t.Accesses {
 		buf = buf[:0]
 		buf = append(buf, a.Kind.String()...)
@@ -228,6 +260,10 @@ func (t *Trace) WriteText(w io.Writer) error {
 		buf = strconv.AppendUint(buf, uint64(a.Width), 10)
 		buf = append(buf, ' ')
 		buf = strconv.AppendUint(buf, uint64(a.Value), 16)
+		if t.MultiCore {
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, uint64(a.Core), 10)
+		}
 		buf = append(buf, '\n')
 		if _, err := bw.Write(buf); err != nil {
 			return err
@@ -244,12 +280,16 @@ func (t *Trace) WriteText(w io.Writer) error {
 // a line number.
 const maxTextLine = 1 << 20
 
-// ReadText parses the format produced by WriteText.
+// ReadText parses the format produced by WriteText. A file must commit
+// to one shape: all accesses carry a core field (five fields per line,
+// the trace comes back MultiCore) or none do; mixing the two is
+// reported as a parse error rather than silently defaulting cores.
 func ReadText(r io.Reader) (*Trace, error) {
 	t := New(1024)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), maxTextLine)
 	line := 0
+	sawCore, sawPlain := false, false
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -257,8 +297,8 @@ func ReadText(r io.Reader) (*Trace, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(fields))
+		if len(fields) != 4 && len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 4 or 5 fields, got %d", line, len(fields))
 		}
 		kind, err := ParseKind(fields[0])
 		if err != nil {
@@ -276,8 +316,22 @@ func ReadText(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad value: %w", line, err)
 		}
-		t.Append(Access{Addr: uint32(addr), Value: uint32(value), Width: uint8(width), Kind: kind})
+		var core uint64
+		if len(fields) == 5 {
+			core, err = strconv.ParseUint(fields[4], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad core ID: %w", line, err)
+			}
+			sawCore = true
+		} else {
+			sawPlain = true
+		}
+		if sawCore && sawPlain {
+			return nil, fmt.Errorf("trace: line %d: mixed 4- and 5-field lines (core IDs must be on every access or none)", line)
+		}
+		t.Append(Access{Addr: uint32(addr), Value: uint32(value), Width: uint8(width), Kind: kind, Core: uint8(core)})
 	}
+	t.MultiCore = sawCore
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
 			return nil, fmt.Errorf("trace: line %d: line longer than %d bytes: %w", line+1, maxTextLine, err)

@@ -26,8 +26,8 @@
 # and a few kernel dumps are converted text -> binary -> text and must
 # come back byte-identical, and both formats must replay through the
 # cache to identical statistics under two geometries.
-# `sweep` runs the banks and memtech design-space sweeps twice against
-# one result store each and fails unless the second run re-executes zero
+# `sweep` runs the banks, memtech and nuca design-space sweeps twice
+# against one result store each and fails unless the second run re-executes zero
 # points and prints a byte-identical Pareto frontier — the
 # incremental-sweep contract.
 set -euo pipefail
@@ -110,6 +110,11 @@ stage_chaos() {
     # memtech stack (gating machine, banked DRAM) sees its own fault
     # placements rather than only whatever seed 1 lands on it.
     "$BIN/lpmem" chaos -seed 23 -plan all E21 E22 E23
+    # And one aimed at the CMP suite: the NUCA LLC replays multi-core
+    # traces under perturbed energy models, so its conservation
+    # invariants (per-core sums, occupancy, capacity ratio) get their
+    # own fault placements.
+    "$BIN/lpmem" chaos -seed 24 -plan all E24 E25 E26
 }
 
 stage_fuzz() {
@@ -174,7 +179,7 @@ stage_sweep() {
     dir=$(mktemp -d)
     # Cold run populates each store; the resumed run must re-execute
     # nothing and reproduce the frontier byte-for-byte.
-    for space in banks memtech; do
+    for space in banks memtech nuca; do
         "$BIN/lpmem" sweep -space "$space" -resume "$dir/$space.jsonl" -pareto \
             >"$dir/front1.txt" 2>"$dir/sum1.txt"
         "$BIN/lpmem" sweep -space "$space" -resume "$dir/$space.jsonl" -pareto \

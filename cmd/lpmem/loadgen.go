@@ -1,0 +1,400 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpmem/internal/stats"
+)
+
+// `lpmem loadgen` drives an lpmemd fleet with a configurable open- or
+// closed-loop workload and reports throughput, latency percentiles, and
+// the shed rate. It is the client half of the serving subsystem: request
+// IDs it mints show up in the servers' access logs, 429 responses it
+// counts can be cross-checked against the servers' admission counters
+// (-verify), and the multi-replica bench script is a thin wrapper
+// around it.
+
+// lgKind is one request flavour in the workload mix.
+type lgKind struct {
+	name   string
+	weight int
+}
+
+// lgTally accumulates per-kind results. Latencies are recorded for
+// served (2xx) requests only: shed requests return immediately and
+// would make the percentiles look better under overload, which is
+// exactly backwards.
+type lgTally struct {
+	requests, ok, shed, failed int
+	latMS                      []float64
+}
+
+func (t *lgTally) add(o *lgTally) {
+	t.requests += o.requests
+	t.ok += o.ok
+	t.shed += o.shed
+	t.failed += o.failed
+	t.latMS = append(t.latMS, o.latMS...)
+}
+
+// percentile returns the q-quantile (0..1) of sorted ms samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// parseMix turns "one=8,batch=1,list=1" into a weighted kind list.
+func parseMix(spec string) ([]lgKind, error) {
+	known := map[string]bool{"one": true, "batch": true, "list": true, "health": true}
+	var mix []lgKind
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, found := strings.Cut(part, "=")
+		w := 1
+		if found {
+			if _, err := fmt.Sscanf(wstr, "%d", &w); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad mix weight %q", part)
+			}
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown mix kind %q (want one, batch, list, health)", name)
+		}
+		if w > 0 {
+			mix = append(mix, lgKind{name, w})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty request mix %q", spec)
+	}
+	return mix, nil
+}
+
+// pickKind draws one kind from the weighted mix.
+func pickKind(rng *rand.Rand, mix []lgKind) string {
+	total := 0
+	for _, k := range mix {
+		total += k.weight
+	}
+	n := rng.Intn(total)
+	for _, k := range mix {
+		if n < k.weight {
+			return k.name
+		}
+		n -= k.weight
+	}
+	return mix[len(mix)-1].name
+}
+
+// admissionShed reads the lifetime shed counter from one replica's
+// /metrics (0 when admission control is off).
+func admissionShed(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var m struct {
+		Admission *struct {
+			Shed uint64 `json:"shed"`
+		} `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, err
+	}
+	if m.Admission == nil {
+		return 0, nil
+	}
+	return m.Admission.Shed, nil
+}
+
+// runLoadgen implements `lpmem loadgen`.
+func runLoadgen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addrs := fs.String("addr", "http://localhost:8093", "comma list of lpmemd base URLs, round-robined")
+	clients := fs.Int("clients", 4, "concurrent client goroutines")
+	rate := fs.Float64("rate", 0, "total request arrival rate per second (0 = closed loop)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	requests := fs.Int("requests", 0, "stop after this many requests (0 = duration governs)")
+	mixSpec := fs.String("mix", "one=8,batch=1,list=1", "weighted request mix: one, batch, list, health")
+	idsSpec := fs.String("ids", "E17,E22,E4", "experiment IDs the one/batch kinds draw from")
+	seed := fs.Int64("seed", 1, "workload seed; same seed, same request sequence per client")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	probe := fs.Duration("probe", 0, "wait up to this long for every replica's /healthz before starting")
+	verify := fs.Bool("verify", false, "cross-check client-observed 429s against the servers' shed counters")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	bases := strings.Split(*addrs, ",")
+	for i := range bases {
+		bases[i] = strings.TrimRight(strings.TrimSpace(bases[i]), "/")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "lpmem loadgen: %v\n", err)
+		return 2
+	}
+	ids := strings.Split(*idsSpec, ",")
+	if *clients < 1 {
+		fmt.Fprintln(stderr, "lpmem loadgen: -clients must be >= 1")
+		return 2
+	}
+
+	client := &http.Client{Timeout: *timeout}
+
+	if *probe > 0 {
+		deadline := time.Now().Add(*probe)
+		for _, base := range bases {
+			for {
+				resp, err := client.Get(base + "/healthz")
+				if err == nil {
+					_ = resp.Body.Close()
+					break
+				}
+				if time.Now().After(deadline) {
+					fmt.Fprintf(stderr, "lpmem loadgen: %s not ready after %v: %v\n", base, *probe, err)
+					return 1
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+	}
+
+	shedBefore := make([]uint64, len(bases))
+	if *verify {
+		for i, base := range bases {
+			if shedBefore[i], err = admissionShed(client, base); err != nil {
+				fmt.Fprintf(stderr, "lpmem loadgen: read %s/metrics: %v\n", base, err)
+				return 1
+			}
+		}
+	}
+
+	// Open-loop arrivals: one shared ticker distributes ticks across the
+	// client pool, so the total arrival rate is -rate regardless of
+	// -clients. Closed loop (-rate 0) lets every client fire back-to-back.
+	var pace <-chan time.Time
+	if *rate > 0 {
+		tk := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer tk.Stop()
+		pace = tk.C
+	}
+
+	var (
+		issued  atomic.Int64
+		stop    = make(chan struct{})
+		tallies = make([]map[string]*lgTally, *clients)
+		wg      sync.WaitGroup
+	)
+	timeUp := time.AfterFunc(*duration, func() { close(stop) })
+	defer timeUp.Stop()
+
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		tallies[c] = map[string]*lgTally{}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)*7919))
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-stop:
+						return
+					}
+				}
+				if *requests > 0 && issued.Add(1) > int64(*requests) {
+					return
+				}
+				base := bases[rng.Intn(len(bases))]
+				kind := pickKind(rng, mix)
+				var (
+					method = http.MethodGet
+					url    string
+				)
+				switch kind {
+				case "one":
+					url = base + "/experiments/" + strings.TrimSpace(ids[rng.Intn(len(ids))])
+				case "batch":
+					a, b := rng.Intn(len(ids)), rng.Intn(len(ids))
+					url = base + "/run?ids=" + strings.TrimSpace(ids[a]) + "," + strings.TrimSpace(ids[b])
+					method = http.MethodPost
+				case "list":
+					url = base + "/experiments"
+				case "health":
+					url = base + "/healthz"
+				}
+				seq++
+				req, err := http.NewRequest(method, url, nil)
+				if err != nil {
+					continue
+				}
+				req.Header.Set("X-Request-ID", fmt.Sprintf("lg-%d-%06d", c, seq))
+				t := tallies[c][kind]
+				if t == nil {
+					t = &lgTally{}
+					tallies[c][kind] = t
+				}
+				t.requests++
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					t.failed++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					t.shed++
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					t.ok++
+					t.latMS = append(t.latMS, ms)
+				default:
+					t.failed++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge per-client tallies; no locks were needed while running.
+	perKind := map[string]*lgTally{}
+	total := &lgTally{}
+	for _, m := range tallies {
+		for kind, t := range m {
+			if perKind[kind] == nil {
+				perKind[kind] = &lgTally{}
+			}
+			perKind[kind].add(t)
+			total.add(t)
+		}
+	}
+	sort.Float64s(total.latMS)
+
+	type kindReport struct {
+		Kind     string  `json:"kind"`
+		Requests int     `json:"requests"`
+		OK       int     `json:"ok"`
+		Shed     int     `json:"shed"`
+		Failed   int     `json:"failed"`
+		P50MS    float64 `json:"p50_ms"`
+		P99MS    float64 `json:"p99_ms"`
+	}
+	var kinds []kindReport
+	for _, name := range []string{"one", "batch", "list", "health"} {
+		t := perKind[name]
+		if t == nil {
+			continue
+		}
+		sort.Float64s(t.latMS)
+		kinds = append(kinds, kindReport{
+			Kind: name, Requests: t.requests, OK: t.ok, Shed: t.shed, Failed: t.failed,
+			P50MS: percentile(t.latMS, 0.50), P99MS: percentile(t.latMS, 0.99),
+		})
+	}
+	report := struct {
+		Addrs      []string     `json:"addrs"`
+		Clients    int          `json:"clients"`
+		DurationS  float64      `json:"duration_s"`
+		Requests   int          `json:"requests"`
+		OK         int          `json:"ok"`
+		Shed       int          `json:"shed"`
+		Failed     int          `json:"failed"`
+		RPS        float64      `json:"rps"`
+		ShedRate   float64      `json:"shed_rate"`
+		P50MS      float64      `json:"p50_ms"`
+		P90MS      float64      `json:"p90_ms"`
+		P99MS      float64      `json:"p99_ms"`
+		MaxMS      float64      `json:"max_ms"`
+		Kinds      []kindReport `json:"kinds"`
+		ServerShed *uint64      `json:"server_shed,omitempty"`
+	}{
+		Addrs: bases, Clients: *clients,
+		DurationS: elapsed.Seconds(),
+		Requests:  total.requests, OK: total.ok, Shed: total.shed, Failed: total.failed,
+		RPS:   float64(total.ok) / elapsed.Seconds(),
+		P50MS: percentile(total.latMS, 0.50),
+		P90MS: percentile(total.latMS, 0.90),
+		P99MS: percentile(total.latMS, 0.99),
+		MaxMS: percentile(total.latMS, 1.0),
+		Kinds: kinds,
+	}
+	if total.requests > 0 {
+		report.ShedRate = float64(total.shed) / float64(total.requests)
+	}
+
+	verifyFailed := false
+	if *verify {
+		var serverShed uint64
+		for i, base := range bases {
+			after, err := admissionShed(client, base)
+			if err != nil {
+				fmt.Fprintf(stderr, "lpmem loadgen: read %s/metrics: %v\n", base, err)
+				return 1
+			}
+			serverShed += after - shedBefore[i]
+		}
+		report.ServerShed = &serverShed
+		if int(serverShed) != total.shed {
+			verifyFailed = true
+			fmt.Fprintf(stderr, "lpmem loadgen: shed mismatch: clients saw %d 429s, servers shed %d\n",
+				total.shed, serverShed)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		tbl := stats.NewTable("kind", "requests", "ok", "shed", "failed", "p50_ms", "p99_ms")
+		for _, k := range kinds {
+			tbl.AddRow(k.Kind, k.Requests, k.OK, k.Shed, k.Failed, k.P50MS, k.P99MS)
+		}
+		fmt.Fprint(stdout, tbl.String())
+	}
+	// The summary line is stable and grep-friendly: the bench script and
+	// the CI serve stage parse it.
+	fmt.Fprintf(stdout,
+		"loadgen: total=%d ok=%d shed=%d failed=%d rps=%.1f p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n",
+		report.Requests, report.OK, report.Shed, report.Failed, report.RPS,
+		report.P50MS, report.P90MS, report.P99MS, report.MaxMS)
+
+	if total.failed > 0 || verifyFailed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lpmem"
+	"lpmem/internal/httpapi"
+	"lpmem/internal/runner"
+)
+
+// lgServer starts one in-process lpmemd replica for loadgen to drive.
+func lgServer(t *testing.T, opts ...httpapi.Option) *httptest.Server {
+	t.Helper()
+	eng := lpmem.NewEngine(runner.Options{Workers: 2})
+	ts := httptest.NewServer(httpapi.New(eng, opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadgenClosedLoop: a short closed-loop burst against a healthy
+// replica reports only successes and exits 0.
+func TestLoadgenClosedLoop(t *testing.T) {
+	ts := lgServer(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"loadgen",
+		"-addr", ts.URL,
+		"-clients", "2",
+		"-duration", "300ms",
+		"-ids", "E17",
+		"-mix", "one=4,list=1,health=1",
+		"-probe", "2s",
+		"-json",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	// Output is a JSON report followed by the summary line.
+	body := out.String()
+	idx := strings.LastIndex(body, "loadgen: total=")
+	if idx < 0 {
+		t.Fatalf("missing summary line:\n%s", body)
+	}
+	var rep struct {
+		Requests int     `json:"requests"`
+		OK       int     `json:"ok"`
+		Shed     int     `json:"shed"`
+		Failed   int     `json:"failed"`
+		RPS      float64 `json:"rps"`
+		P99MS    float64 `json:"p99_ms"`
+		Kinds    []struct {
+			Kind     string `json:"kind"`
+			Requests int    `json:"requests"`
+		} `json:"kinds"`
+	}
+	if err := json.Unmarshal([]byte(body[:idx]), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, body)
+	}
+	if rep.Requests == 0 || rep.OK != rep.Requests || rep.Shed != 0 || rep.Failed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.RPS <= 0 || rep.P99MS <= 0 {
+		t.Fatalf("derived stats: %+v", rep)
+	}
+	if len(rep.Kinds) == 0 {
+		t.Fatal("no per-kind breakdown")
+	}
+}
+
+// TestLoadgenRequestCapAndRate: -requests bounds the total issued even
+// in open-loop mode.
+func TestLoadgenRequestCap(t *testing.T) {
+	ts := lgServer(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"loadgen",
+		"-addr", ts.URL,
+		"-clients", "3",
+		"-duration", "10s",
+		"-requests", "25",
+		"-ids", "E17",
+		"-mix", "one=1",
+		"-json",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var rep struct {
+		Requests int `json:"requests"`
+	}
+	body := out.String()
+	idx := strings.LastIndex(body, "loadgen: total=")
+	if err := json.Unmarshal([]byte(body[:idx]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Requests > 25 {
+		t.Fatalf("request cap not honoured: %d", rep.Requests)
+	}
+}
+
+// TestLoadgenVerifySheds: driving an overloaded replica sheds requests,
+// and -verify agrees with the server's own accounting.
+func TestLoadgenVerifySheds(t *testing.T) {
+	ts := lgServer(t,
+		httpapi.WithAdmission(1, 0),
+		httpapi.WithServiceDelay(30*time.Millisecond),
+	)
+	var out, errOut bytes.Buffer
+	code := run([]string{"loadgen",
+		"-addr", ts.URL,
+		"-clients", "6",
+		"-duration", "500ms",
+		"-ids", "E17",
+		"-mix", "one=1",
+		"-verify",
+		"-json",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var rep struct {
+		Shed       int     `json:"shed"`
+		Failed     int     `json:"failed"`
+		ServerShed *uint64 `json:"server_shed"`
+	}
+	body := out.String()
+	idx := strings.LastIndex(body, "loadgen: total=")
+	if err := json.Unmarshal([]byte(body[:idx]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("overloaded replica shed nothing")
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("sheds must not count as failures: %+v", rep)
+	}
+	if rep.ServerShed == nil || int(*rep.ServerShed) != rep.Shed {
+		t.Fatalf("verify mismatch: %+v", rep)
+	}
+}
+
+// TestLoadgenUsageErrors: bad mixes and client counts are usage errors.
+func TestLoadgenUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"loadgen", "-mix", "bogus=1"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad mix: exit %d", code)
+	}
+	if code := run([]string{"loadgen", "-clients", "0"}, &out, &errOut); code != 2 {
+		t.Fatalf("zero clients: exit %d", code)
+	}
+}

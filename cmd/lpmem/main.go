@@ -7,6 +7,7 @@
 //	lpmem run [flags] E1 [E7 ...]       # run selected experiments
 //	lpmem run all                       # run everything
 //	lpmem run -parallel 8 -json all     # parallel batch, JSON envelopes
+//	lpmem loadgen -addr http://h:8093   # drive an lpmemd fleet with load
 //	lpmem kernels                       # list workload kernels
 //	lpmem trace <kernel>                # run a kernel and dump its trace
 //
@@ -52,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runChaos(args[1:], stdout, stderr)
 	case "sweep":
 		return runSweep(args[1:], stdout, stderr)
+	case "loadgen":
+		return runLoadgen(args[1:], stdout, stderr)
 	case "kernels":
 		for _, k := range workloads.All() {
 			inst := k.Build(1)
@@ -140,6 +143,7 @@ usage:
   lpmem run [flags] E1 E7 ...     run selected experiments
   lpmem chaos [flags] [ids|all]   fault-injection robustness sweep
   lpmem sweep [flags]             design-space exploration (Pareto frontiers)
+  lpmem loadgen [flags]           drive an lpmemd fleet, report latency/shed stats
   lpmem kernels                   list workload kernels
   lpmem trace <kernel> [seed]     dump a kernel memory trace (text format)
   lpmem trace convert [flags]     interconvert text and binary traces losslessly
@@ -159,6 +163,17 @@ chaos flags:
   -runs N        identical sweeps compared for determinism (default 2)
   -retries N     per-experiment retry budget (default 2)
   -json          emit sweep reports as JSON
+
+loadgen flags:
+  -addr URLS     comma list of lpmemd base URLs, round-robined
+  -clients N     concurrent clients (default 4); -rate R total req/s (0 = closed loop)
+  -duration D    load window (default 10s); -requests N hard request cap
+  -mix SPEC      weighted kinds, e.g. one=8,batch=1,list=1 (also: health)
+  -ids LIST      experiment IDs drawn by one/batch (default E17,E22,E4)
+  -seed N        workload seed; -timeout D per-request deadline
+  -probe D       wait for every replica's /healthz before starting
+  -verify        cross-check client 429s against server shed counters
+  -json          emit the report as JSON
 
 sweep flags:
   -space NAME    design space: banks, cache, bus, memhier, memtech (-list to enumerate)

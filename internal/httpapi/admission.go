@@ -1,0 +1,162 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// errShed marks a request rejected by the admission queue: both the
+// concurrency slots and the wait queue are full, so the server refuses
+// new work instead of letting latency collapse for everyone. The HTTP
+// surface maps it to 429 + Retry-After.
+var errShed = errors.New("httpapi: admission queue full")
+
+// admission is the bounded queue with load shedding in front of the
+// runner. At most capacity requests hold an execution slot at once; up
+// to maxWait more may queue for a slot; anything beyond that is shed
+// immediately. It composes with the PR 4 degradation contract as the
+// overload leg: breakers answer "this experiment keeps failing" (503
+// degraded health, fast-fail errors), admission answers "this replica
+// has more work than it can queue" (429, retry elsewhere or later).
+type admission struct {
+	capacity int
+	maxWait  int
+	sem      chan struct{}
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	// abandoned counts requests whose client gave up while queued.
+	abandoned atomic.Uint64
+	// seq drives the deterministic Retry-After jitter.
+	seq atomic.Uint64
+	// retryAfterBase is the minimum Retry-After in seconds; jitter adds
+	// [0, 2*base] so a shed thundering herd does not re-arrive in phase.
+	retryAfterBase int
+}
+
+// newAdmission builds the queue; capacity <= 0 means admission control
+// is disabled (callers hold a nil *admission).
+func newAdmission(capacity, maxWait int) *admission {
+	if capacity <= 0 {
+		return nil
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &admission{
+		capacity: capacity,
+		maxWait:  maxWait,
+		//lint:allow boundedbuf capacity is operator flag config (-admit), not request input
+		sem:            make(chan struct{}, capacity),
+		retryAfterBase: 1,
+	}
+}
+
+// acquire obtains an execution slot, queueing within the wait bound. On
+// success the returned release func must be called exactly once when the
+// request's work is done. Failure is either errShed (queue full) or the
+// request context's error (client disconnected while queued).
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	admitted := func() func() {
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return func() {
+			<-a.sem
+			a.inflight.Add(-1)
+		}
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return admitted(), nil
+	default:
+	}
+	// No free slot: take a wait-queue position or shed. The counter is
+	// optimistic — increment, then back out past the bound — so two
+	// racing requests cannot both sneak into the last position.
+	if a.waiting.Add(1) > int64(a.maxWait) {
+		a.waiting.Add(-1)
+		a.shed.Add(1)
+		return nil, errShed
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return admitted(), nil
+	case <-ctx.Done():
+		a.abandoned.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// retryAfter returns the Retry-After seconds for one shed response:
+// base plus a deterministic per-response jitter in [0, 2*base], so
+// clients told to back off do not return in lockstep.
+func (a *admission) retryAfter() int {
+	h := fnv.New64a()
+	var b [8]byte
+	n := a.seq.Add(1)
+	for i := range b {
+		b[i] = byte(n >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	return a.retryAfterBase + int(h.Sum64()%uint64(2*a.retryAfterBase+1))
+}
+
+// AdmissionStats is the /metrics view of the queue.
+type AdmissionStats struct {
+	// Capacity is the concurrency bound; QueueLimit the wait bound.
+	Capacity   int `json:"capacity"`
+	QueueLimit int `json:"queue_limit"`
+	// Inflight holds an execution slot now; QueueDepth is waiting.
+	Inflight   int64 `json:"inflight"`
+	QueueDepth int64 `json:"queue_depth"`
+	// Admitted/Shed/Abandoned are lifetime totals: admitted to run, shed
+	// with 429, abandoned by their client while queued.
+	Admitted  uint64 `json:"admitted"`
+	Shed      uint64 `json:"shed"`
+	Abandoned uint64 `json:"abandoned"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		Capacity:   a.capacity,
+		QueueLimit: a.maxWait,
+		Inflight:   a.inflight.Load(),
+		QueueDepth: a.waiting.Load(),
+		Admitted:   a.admitted.Load(),
+		Shed:       a.shed.Load(),
+		Abandoned:  a.abandoned.Load(),
+	}
+}
+
+// admit runs the admission gate for one work-producing request and
+// writes the shed/disconnect response itself when the request does not
+// get through. Callers must defer the returned release when ok.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if s.adm == nil {
+		return func() {}, true
+	}
+	release, err := s.adm.acquire(r.Context())
+	if err == nil {
+		return release, true
+	}
+	if errors.Is(err, errShed) {
+		ra := s.adm.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+		writeJSON(w, http.StatusTooManyRequests, map[string]interface{}{
+			"error":               "overloaded: admission queue full",
+			"retry_after_seconds": ra,
+		})
+		return nil, false
+	}
+	// The client disconnected while queued; nobody reads this body, but
+	// the status keeps access logs truthful.
+	writeErr(w, http.StatusServiceUnavailable, "client disconnected while queued")
+	return nil, false
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -25,7 +26,9 @@ import (
 	"time"
 
 	"lpmem"
+	"lpmem/internal/resultstore"
 	"lpmem/internal/runner"
+	"lpmem/internal/sweep"
 )
 
 // Server owns the engine and the registry snapshot it serves.
@@ -37,6 +40,18 @@ type Server struct {
 	requests   atomic.Uint64
 	reqTimeout time.Duration
 	sweeps     *sweepManager
+
+	// adm is the bounded admission queue (nil = unlimited), store the
+	// cross-replica result store (nil = none), sweepStore the persistent
+	// sweep point store (nil = per-process memory store).
+	adm        *admission
+	store      *resultstore.Store
+	sweepStore *sweep.Store
+	// serviceDelay is an artificial per-admitted-request delay; see
+	// WithServiceDelay.
+	serviceDelay time.Duration
+
+	accessLogState
 }
 
 // Option customises a Server.
@@ -56,6 +71,45 @@ func WithExperiments(exps []lpmem.Experiment) Option {
 	return func(s *Server) { s.exps = exps }
 }
 
+// WithAdmission bounds the work the replica accepts: at most capacity
+// run/sweep requests execute concurrently, at most queue more wait, and
+// the rest are shed with 429 + jittered Retry-After. capacity <= 0
+// disables admission control.
+func WithAdmission(capacity, queue int) Option {
+	return func(s *Server) { s.adm = newAdmission(capacity, queue) }
+}
+
+// WithResultStore plugs in the content-addressed experiment result
+// store. Replicas pointed at the same store file share results: a
+// request any replica has computed is served from the store everywhere,
+// surviving restarts.
+func WithResultStore(store *resultstore.Store) Option {
+	return func(s *Server) { s.store = store }
+}
+
+// WithSweepStore replaces the per-process in-memory sweep point store
+// with a persistent one (normally sharing a directory with the result
+// store), making /sweeps incremental across replicas and restarts.
+func WithSweepStore(store *sweep.Store) Option {
+	return func(s *Server) { s.sweepStore = store }
+}
+
+// WithAccessLog enables structured access logging: one JSON line per
+// request (time, request ID, method, path, status, bytes, duration) to
+// w. The server serialises writes; w need not be concurrency-safe.
+func WithAccessLog(w io.Writer) Option {
+	return func(s *Server) { s.accessLog = w }
+}
+
+// WithServiceDelay adds a fixed, context-cancellable delay to every
+// admitted work request before it touches the engine. It models a
+// downstream dependency's service time so the replica-scaling bench is
+// concurrency-bound rather than CPU-bound on small hosts; production
+// servers leave it zero.
+func WithServiceDelay(d time.Duration) Option {
+	return func(s *Server) { s.serviceDelay = d }
+}
+
 // New creates a server around an engine, serving the full registry
 // unless an option narrows it.
 func New(eng *lpmem.Engine, opts ...Option) *Server {
@@ -67,8 +121,55 @@ func New(eng *lpmem.Engine, opts ...Option) *Server {
 	for _, e := range s.exps {
 		s.byID[e.ID] = e
 	}
-	s.sweeps = newSweepManager(eng.Workers())
+	s.sweeps = newSweepManager(eng.Workers(), s.sweepStore)
 	return s
+}
+
+// storeGet serves one experiment envelope from the shared result store,
+// marking it cached. False when no store is configured or the key is
+// unknown everywhere.
+func (s *Server) storeGet(key string) (lpmem.ResultJSON, bool) {
+	if s.store == nil {
+		return lpmem.ResultJSON{}, false
+	}
+	raw, ok := s.store.Get(key)
+	if !ok {
+		return lpmem.ResultJSON{}, false
+	}
+	var env lpmem.ResultJSON
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return lpmem.ResultJSON{}, false
+	}
+	env.Cached = true
+	return env, true
+}
+
+// storePut persists one successful envelope to the shared store (other
+// replicas see it at their next miss). Reports whether a write happened.
+func (s *Server) storePut(key string, env lpmem.ResultJSON) bool {
+	if s.store == nil || env.Error != "" {
+		return false
+	}
+	// The stored form is the computed result, not this request's view.
+	env.Cached = false
+	if err := s.store.Put(key, "experiment", env); err != nil {
+		return false
+	}
+	return true
+}
+
+// delay applies the configured synthetic service delay, honouring
+// cancellation.
+func (s *Server) delay(ctx context.Context) {
+	if s.serviceDelay <= 0 {
+		return
+	}
+	t := time.NewTimer(s.serviceDelay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // runCtx derives the per-request run context from the configured bound.
@@ -82,13 +183,16 @@ func (s *Server) runCtx(r *http.Request) (context.Context, context.CancelFunc) {
 // Handler returns the route table:
 //
 //	GET  /experiments        registry listing
-//	GET  /experiments/{id}   run one experiment (cache-served when warm)
-//	POST /run?ids=E1,E7      parallel batch run ("all" or empty = registry)
-//	POST /sweeps             start a design-space sweep (202 + id)
+//	GET  /experiments/{id}   run one experiment (cache/store-served when warm)
+//	POST /run?ids=E1,E7      parallel batch run ("all" or empty = registry);
+//	                         &stream=1 switches to SSE per-result events
+//	POST /sweeps             start a design-space sweep (202 + id);
+//	                         ?stream=1 follows progress over SSE instead
 //	GET  /sweeps             list accepted sweeps
 //	GET  /sweeps/spaces      list the available design spaces
-//	GET  /sweeps/{id}        sweep status: running/ok/partial/failed + tables
-//	GET  /metrics            engine + HTTP counter snapshot
+//	GET  /sweeps/{id}        sweep status: running/ok/partial/failed + tables;
+//	                         ?stream=1 follows progress over SSE
+//	GET  /metrics            engine + HTTP + admission + store counters
 //	GET  /healthz            liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -101,7 +205,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s.count(mux)
+	return s.count(s.instrument(mux))
 }
 
 // handleHealthz reflects the engine's circuit-breaker state: "ok" while
@@ -160,6 +264,22 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", id))
 		return
 	}
+	// A client that hung up while this request sat in net/http's accept
+	// backlog gets no work done on its behalf.
+	if r.Context().Err() != nil {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.delay(r.Context())
+	key := lpmem.CacheKey(exp.ID)
+	if env, ok := s.storeGet(key); ok {
+		writeJSON(w, http.StatusOK, env)
+		return
+	}
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
 	reports := lpmem.RunBatch(ctx, s.eng, []lpmem.Experiment{exp})
@@ -167,6 +287,8 @@ func (s *Server) handleOne(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if env.Error != "" {
 		status = http.StatusInternalServerError
+	} else {
+		s.storePut(key, env)
 	}
 	writeJSON(w, status, env)
 }
@@ -177,14 +299,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Dead clients don't get work enqueued for them (the disconnect can
+	// predate the handler under load).
+	if r.Context().Err() != nil {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.delay(r.Context())
+	if wantsStream(r) {
+		s.handleBatchStream(w, r, exps)
+		return
+	}
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
 	start := time.Now()
-	reports := lpmem.RunBatch(ctx, s.eng, exps)
-	envs := make([]lpmem.ResultJSON, len(reports))
+
+	// Serve whatever any replica already computed; run the rest.
+	envs := make([]lpmem.ResultJSON, len(exps))
+	var pending []int
+	for i, e := range exps {
+		if env, ok := s.storeGet(lpmem.CacheKey(e.ID)); ok {
+			envs[i] = env
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) > 0 {
+		pendingExps := make([]lpmem.Experiment, len(pending))
+		for j, i := range pending {
+			pendingExps[j] = exps[i]
+		}
+		reports := lpmem.RunBatch(ctx, s.eng, pendingExps)
+		for j, i := range pending {
+			envs[i] = reports[j].JSON()
+			if envs[i].Error == "" {
+				s.storePut(lpmem.CacheKey(exps[i].ID), envs[i])
+			}
+		}
+	}
 	failed := 0
-	for i, rep := range reports {
-		envs[i] = rep.JSON()
+	for i := range envs {
 		if envs[i].Error != "" {
 			failed++
 		}
@@ -250,10 +408,15 @@ type MetricsSnapshot struct {
 	CacheEntries    int                            `json:"cache_entries"`
 	Runner          lpmem.Metrics                  `json:"runner"`
 	Breakers        map[string]runner.BreakerState `json:"breakers,omitempty"`
+	// Admission reports the load-shedding queue (absent when admission
+	// control is disabled); Store the shared result store (absent when
+	// the replica runs storeless).
+	Admission *AdmissionStats    `json:"admission,omitempty"`
+	Store     *resultstore.Stats `json:"store,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, MetricsSnapshot{
+	snap := MetricsSnapshot{
 		RegistryVersion: lpmem.RegistryVersion,
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 		HTTPRequests:    s.requests.Load(),
@@ -261,7 +424,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEntries:    s.eng.CacheLen(),
 		Runner:          s.eng.Metrics(),
 		Breakers:        s.eng.BreakerStates(),
-	})
+	}
+	if s.adm != nil {
+		st := s.adm.stats()
+		snap.Admission = &st
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.Store = &st
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

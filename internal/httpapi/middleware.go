@@ -1,0 +1,119 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDHeader carries the per-request correlation ID. Incoming
+// values (a load balancer or the loadgen client already assigned one)
+// are honoured; otherwise the server mints `<instance>-<seq>`. The ID is
+// echoed on the response and stamped into every access-log line, so a
+// failed loadgen request is traceable to exactly one server-side line.
+const requestIDHeader = "X-Request-ID"
+
+// instanceTag distinguishes replicas sharing a log aggregator: pid plus
+// start time is unique enough across a bench fleet without coordination.
+var instanceTag = fmt.Sprintf("%d-%x", os.Getpid(), time.Now().UnixNano()&0xffffff)
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time       string  `json:"time"`
+	RequestID  string  `json:"request_id"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Query      string  `json:"query,omitempty"`
+	Status     int     `json:"status"`
+	Bytes      int64   `json:"bytes"`
+	DurationMS float64 `json:"duration_ms"`
+	Remote     string  `json:"remote,omitempty"`
+}
+
+// statusWriter captures the status code and body size for the access
+// log. It forwards Flush so the SSE streaming handlers keep working
+// through the middleware stack.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps the route table with request-ID assignment and, when
+// an access-log writer is configured, one JSON line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = fmt.Sprintf("%s-%06d", instanceTag, s.reqSeq.Add(1))
+			r.Header.Set(requestIDHeader, id)
+		}
+		w.Header().Set(requestIDHeader, id)
+		if s.accessLog == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rec := accessRecord{
+			Time:       start.UTC().Format(time.RFC3339Nano),
+			RequestID:  id,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Query:      r.URL.RawQuery,
+			Status:     status,
+			Bytes:      sw.bytes,
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Remote:     r.RemoteAddr,
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		line = append(line, '\n')
+		s.logMu.Lock()
+		_, _ = s.accessLog.Write(line)
+		s.logMu.Unlock()
+	})
+}
+
+// accessLogState is embedded in Server: the sink plus the mutex that
+// keeps concurrent handlers from interleaving log lines, and the
+// sequence counter behind minted request IDs.
+type accessLogState struct {
+	accessLog io.Writer
+	logMu     sync.Mutex
+	reqSeq    atomic.Uint64
+}

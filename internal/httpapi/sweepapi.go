@@ -46,11 +46,69 @@ type sweepJob struct {
 	frontier    *stats.Table
 	sensitivity *stats.Table
 	results     *stats.Table
+
+	// subs are the live SSE watchers; settled marks the job terminal so
+	// late subscribers get an immediately-closed channel (stream handlers
+	// then emit the final snapshot straight away).
+	subs    []chan sweepStatus
+	settled bool
 }
 
-func newSweepManager(workers int) *sweepManager {
-	// OpenStore("") cannot fail: memory-only stores touch no file.
-	store, _ := sweep.OpenStore("")
+// subscribe registers a progress watcher. The returned channel carries
+// best-effort snapshots and is closed when the job settles; the cancel
+// func detaches the watcher (idempotent, safe after settle).
+func (j *sweepJob) subscribe() (<-chan sweepStatus, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan sweepStatus, 8)
+	if j.settled {
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs = append(j.subs, ch)
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// publish pushes the current (table-free) snapshot to every watcher.
+// Sends never block: a slow watcher skips intermediate snapshots but
+// still sees the channel close that triggers the final one.
+func (j *sweepJob) publish() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap := j.statusLocked()
+	snap.Frontier, snap.Sensitivity, snap.Results = nil, nil, nil
+	for _, ch := range j.subs {
+		select {
+		case ch <- snap:
+		default:
+		}
+	}
+}
+
+// settleLocked marks the job terminal and releases every watcher.
+// Callers hold j.mu.
+func (j *sweepJob) settleLocked() {
+	j.settled = true
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+func newSweepManager(workers int, store *sweep.Store) *sweepManager {
+	if store == nil {
+		// OpenStore("") cannot fail: memory-only stores touch no file.
+		store, _ = sweep.OpenStore("")
+	}
 	return &sweepManager{workers: workers, jobs: make(map[string]*sweepJob), store: store}
 }
 
@@ -89,6 +147,11 @@ type sweepStatus struct {
 func (j *sweepJob) snapshot() sweepStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked builds the status body; callers hold j.mu.
+func (j *sweepJob) statusLocked() sweepStatus {
 	return sweepStatus{
 		ID: j.id, Space: j.space, Status: j.status, Objectives: j.objectives,
 		Total: j.total, Done: j.done, Evaluated: j.evaluated,
@@ -161,10 +224,15 @@ func (m *sweepManager) run(job *sweepJob, ad sweep.Adapter, sp sweep.Space, pts 
 			job.mu.Lock()
 			job.done, job.cached, job.failed = p.Done, p.Cached, p.Failed
 			job.mu.Unlock()
+			job.publish()
 		},
 	})
 	job.mu.Lock()
 	defer job.mu.Unlock()
+	// Settling (with the lock still held, before it is released) closes
+	// every watcher channel; stream handlers then read the final tables
+	// through snapshot(). LIFO defers: settle runs first, then Unlock.
+	defer job.settleLocked()
 	if err != nil {
 		job.status, job.err = "failed", err.Error()
 		return
@@ -224,17 +292,40 @@ func (m *sweepManager) list() []sweepStatus {
 
 // handleSweepSubmit implements POST /sweeps: accept a design-space
 // sweep, start it in the background, and return 202 with its ID.
+// With ?stream=1 the response becomes an SSE watch of the new sweep.
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	// A client that already went away gets no work queued on its behalf.
+	if r.Context().Err() != nil {
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
 	var req sweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		release()
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad sweep request: %v", err))
 		return
 	}
 	job, err := s.sweeps.start(req)
 	if err != nil {
+		release()
 		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The admission slot covers acceptance, not the sweep itself (which
+	// runs on the bounded engine pool) nor a long SSE watch.
+	release()
+	if wantsStream(r) {
+		sse, ok := startSSE(w)
+		if !ok {
+			return
+		}
+		_ = sse.event("accepted", job.snapshot())
+		s.streamSweep(w, r, job, sse)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.snapshot())
@@ -253,6 +344,12 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.sweeps.get(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown sweep %q", id))
+		return
+	}
+	if wantsStream(r) {
+		// Settled jobs subscribe onto a closed channel, so the watch
+		// degenerates to an immediate done event.
+		s.streamSweep(w, r, job, nil)
 		return
 	}
 	snap := job.snapshot()

@@ -332,6 +332,17 @@ func (e *Engine[T]) backoff(id string, attempt int) time.Duration {
 // cancelled context, and jobs not yet started are reported with the
 // context's error instead of executing.
 func (e *Engine[T]) Run(ctx context.Context, jobs []Job[T]) []Outcome[T] {
+	return e.RunFunc(ctx, jobs, nil)
+}
+
+// RunFunc is Run with a completion hook: emit (when non-nil) is invoked
+// with (input index, outcome) as each job settles, in completion order —
+// the seam the HTTP streaming surface uses to push per-job events while
+// the batch is still running. emit is called concurrently from worker
+// goroutines, so it must be safe for concurrent use; jobs cancelled
+// before dispatch are emitted too (from the calling goroutine, after the
+// pool drains), so every job is emitted exactly once.
+func (e *Engine[T]) RunFunc(ctx context.Context, jobs []Job[T], emit func(i int, o Outcome[T])) []Outcome[T] {
 	out := make([]Outcome[T], len(jobs))
 	workers := e.opts.Workers
 	if workers > len(jobs) {
@@ -350,6 +361,9 @@ func (e *Engine[T]) Run(ctx context.Context, jobs []Job[T]) []Outcome[T] {
 			defer wg.Done()
 			for i := range idx {
 				out[i] = e.runOne(ctx, jobs[i])
+				if emit != nil {
+					emit(i, out[i])
+				}
 			}
 		}()
 	}
@@ -373,6 +387,9 @@ func (e *Engine[T]) Run(ctx context.Context, jobs []Job[T]) []Outcome[T] {
 		e.submitted.Add(1)
 		e.cancelled.Add(1)
 		out[i] = Outcome[T]{ID: jobs[i].ID, Err: ctx.Err()}
+		if emit != nil {
+			emit(i, out[i])
+		}
 	}
 	return out
 }

@@ -306,3 +306,62 @@ func TestWallClockMetric(t *testing.T) {
 		t.Fatalf("wall time %d too small", m.WallNanos)
 	}
 }
+
+// TestRunFuncEmitsEveryJobOnce: the streaming hook sees every job
+// exactly once with the same outcome the returned slice carries, and
+// jobs cancelled before dispatch are emitted too.
+func TestRunFuncEmitsEveryJobOnce(t *testing.T) {
+	e := New[int](Options{Workers: 3, NoCache: true})
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		jobs[i] = constJob(fmt.Sprintf("J%d", i), i)
+	}
+	var mu sync.Mutex
+	emitted := make(map[int]Outcome[int])
+	out := e.RunFunc(context.Background(), jobs, func(i int, o Outcome[int]) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := emitted[i]; dup {
+			t.Errorf("job %d emitted twice", i)
+		}
+		emitted[i] = o
+	})
+	if len(emitted) != len(jobs) {
+		t.Fatalf("emitted %d outcomes, want %d", len(emitted), len(jobs))
+	}
+	for i, o := range out {
+		if emitted[i].ID != o.ID || emitted[i].Value != o.Value {
+			t.Fatalf("job %d: emitted %+v, returned %+v", i, emitted[i], o)
+		}
+	}
+}
+
+// TestRunFuncEmitsCancelledJobs: cancellation mid-batch still emits one
+// outcome per job — the streaming surface must be able to tell a client
+// about every requested job, dispatched or not.
+func TestRunFuncEmitsCancelledJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New[int](Options{Workers: 1, NoCache: true})
+	var jobs []Job[int]
+	jobs = append(jobs, job("J0", func(context.Context) (int, error) {
+		cancel()
+		return 1, nil
+	}))
+	for i := 1; i < 8; i++ {
+		jobs = append(jobs, constJob(fmt.Sprintf("J%d", i), i))
+	}
+	var n atomic.Int64
+	out := e.RunFunc(ctx, jobs, func(int, Outcome[int]) { n.Add(1) })
+	if got := n.Load(); got != int64(len(jobs)) {
+		t.Fatalf("emitted %d outcomes, want %d (cancelled jobs included)", got, len(jobs))
+	}
+	var cancelled int
+	for _, o := range out[1:] {
+		if errors.Is(o.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job observed the cancellation")
+	}
+}

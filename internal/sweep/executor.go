@@ -108,7 +108,13 @@ func Run(ctx context.Context, ad Adapter, pts []Point, cfg Config) (*Result, err
 	res := &Result{Adapter: ad.Name(), Total: len(sorted)}
 	res.Outcomes = make([]Outcome, len(sorted))
 
-	// Serve what the store already holds; collect the rest.
+	// Merge what peer replicas appended to a shared store since it was
+	// opened, then serve what it holds; collect the rest.
+	if cfg.Store != nil {
+		if err := cfg.Store.Refresh(); err != nil {
+			return nil, err
+		}
+	}
 	var pending []int
 	for i, p := range sorted {
 		key := Key(ad.Name(), StoreVersion, p)

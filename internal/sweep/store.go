@@ -1,11 +1,11 @@
 package sweep
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
+
+	"lpmem/internal/resultstore"
 )
 
 // Record is one persisted point evaluation. Point coordinates are stored
@@ -29,22 +29,22 @@ type Record struct {
 // killed mid-flight resumes from whatever was flushed. A Store with an
 // empty path is memory-only (used by the HTTP service and tests).
 //
-// The format is one JSON object per line. Loading tolerates a torn final
-// line — the footprint of a killed process — and, defensively, skips any
-// other unparseable line rather than refusing the whole file: every
-// intact record is still worth not recomputing.
+// The file layer is resultstore.Log, which makes the store safe for
+// multiple concurrent writer processes: every record is appended as one
+// whole O_APPEND line, so replicas sharing a store file interleave
+// records, never bytes, and Refresh merges what peers appended since the
+// last look. Loading tolerates a torn final line — the footprint of a
+// killed process — and, defensively, skips any other unparseable line
+// rather than refusing the whole file: every intact record is still
+// worth not recomputing.
 type Store struct {
 	path string
 
 	mu      sync.Mutex
 	recs    map[string]Record
 	order   []string // insertion order, for deterministic dumps
-	f       *os.File
-	w       *bufio.Writer
+	log     *resultstore.Log
 	skipped int
-	// needSep is set when the existing file does not end in a newline
-	// (torn tail); the next append must start on a fresh line.
-	needSep bool
 }
 
 // OpenStore loads (creating if needed) the JSONL store at path, or
@@ -54,42 +54,15 @@ func OpenStore(path string) (*Store, error) {
 	if path == "" {
 		return s, nil
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	log, err := resultstore.OpenLog(path, false)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: open store: %w", err)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		_ = f.Close()
+	s.log = log
+	if err := s.refreshLocked(); err != nil {
+		_ = log.Close()
 		return nil, fmt.Errorf("sweep: read store: %w", err)
 	}
-	start := 0
-	for i := 0; i <= len(data); i++ {
-		if i < len(data) && data[i] != '\n' {
-			continue
-		}
-		line := data[start:i]
-		start = i + 1
-		if len(line) == 0 {
-			continue
-		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
-			s.skipped++
-			continue
-		}
-		if _, dup := s.recs[rec.Key]; !dup {
-			s.order = append(s.order, rec.Key)
-		}
-		s.recs[rec.Key] = rec
-	}
-	s.needSep = len(data) > 0 && data[len(data)-1] != '\n'
-	if _, err := f.Seek(0, 2); err != nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("sweep: seek store: %w", err)
-	}
-	s.f = f
-	s.w = bufio.NewWriter(f)
 	return s, nil
 }
 
@@ -103,8 +76,8 @@ func (s *Store) Len() int {
 	return len(s.recs)
 }
 
-// Skipped reports how many unparseable lines the load dropped (0 on a
-// healthy file; at most the torn tail of a killed sweep).
+// Skipped reports how many unparseable lines the loads so far dropped
+// (0 on a healthy file; at most the torn tail of a killed sweep).
 func (s *Store) Skipped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -119,9 +92,41 @@ func (s *Store) Get(key string) (Record, bool) {
 	return rec, ok
 }
 
+// Refresh merges records appended to the backing file since the last
+// load — the work of sibling replicas sharing the store. Memory-only
+// stores no-op. The call is cheap when nothing new was appended (one
+// fstat).
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	if err := s.refreshLocked(); err != nil {
+		return fmt.Errorf("sweep: refresh store: %w", err)
+	}
+	return nil
+}
+
+// refreshLocked scans new complete lines into the record map.
+func (s *Store) refreshLocked() error {
+	return s.log.Scan(func(_ int64, line []byte) error {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			s.skipped++
+			return nil
+		}
+		if _, dup := s.recs[rec.Key]; !dup {
+			s.order = append(s.order, rec.Key)
+		}
+		s.recs[rec.Key] = rec
+		return nil
+	})
+}
+
 // Put inserts (or overwrites) a record and appends it to the backing
-// file. The line is flushed to the OS immediately so a killed process
-// loses at most the record being written.
+// file as one whole line, immediately visible to peer processes. A
+// killed process loses at most the record being written.
 func (s *Store) Put(rec Record) error {
 	if rec.Key == "" {
 		return fmt.Errorf("sweep: record with empty key")
@@ -132,49 +137,30 @@ func (s *Store) Put(rec Record) error {
 		s.order = append(s.order, rec.Key)
 	}
 	s.recs[rec.Key] = rec
-	if s.f == nil {
+	if s.log == nil {
 		return nil
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("sweep: encode record: %w", err)
 	}
-	if s.needSep {
-		if err := s.w.WriteByte('\n'); err != nil {
-			return fmt.Errorf("sweep: write store: %w", err)
-		}
-		s.needSep = false
-	}
-	if _, err := s.w.Write(line); err != nil {
+	if err := s.log.Append(line); err != nil {
 		return fmt.Errorf("sweep: write store: %w", err)
-	}
-	if err := s.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("sweep: write store: %w", err)
-	}
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("sweep: flush store: %w", err)
 	}
 	return nil
 }
 
-// Close flushes and closes the backing file. The in-memory view stays
-// readable.
+// Close closes the backing file. The in-memory view stays readable.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.log == nil {
 		return nil
 	}
-	var first error
-	if err := s.w.Flush(); err != nil {
-		first = err
-	}
-	if err := s.f.Close(); err != nil && first == nil {
-		first = err
-	}
-	s.f, s.w = nil, nil
-	if first != nil {
-		return fmt.Errorf("sweep: close store: %w", first)
+	err := s.log.Close()
+	s.log = nil
+	if err != nil {
+		return fmt.Errorf("sweep: close store: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# Multi-replica serving bench: measures how lpmemd throughput scales when
+# replicas share one content-addressed result store, and that admission
+# control keeps admitted-request latency sane under overload.
+#
+#   ./scripts/bench_replicas.sh            # run, print the report
+#   OUT=BENCH_PR10.json ./scripts/bench_replicas.sh   # also write JSON
+#
+# Method. Serving a warm result is I/O- and store-bound, not CPU-bound,
+# so replica scaling is measured in a concurrency-bound regime:
+# -service-delay D adds a context-cancellable synthetic delay to every
+# admitted request (a stand-in for downstream service time — device
+# models, storage, network hops) and -admit C bounds concurrency, which
+# pins one replica's warm-path throughput at ~C/D regardless of host
+# core count. Two replicas sharing the store should then serve ~2x. The
+# "cpu_bound" contrast runs the same fleet with no delay and no
+# admission bound: on a small host both replicas contend for the same
+# cores, so throughput stays roughly flat — which is exactly the
+# behaviour the shared-store + admission design exists to move past.
+#
+# The overload leg drives one bounded replica far past its capacity and
+# checks two things: requests beyond capacity+queue are shed (never
+# failed), and the p99 of *admitted* requests stays within 2x the
+# unloaded baseline — i.e. shedding protects the latency of the work
+# the replica does accept.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=bin
+mkdir -p "$BIN"
+go build -o "$BIN/lpmemd" ./cmd/lpmemd
+go build -o "$BIN/lpmem" ./cmd/lpmem
+
+DIR=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+PORT1="${LPMEMD_BENCH_PORT:-18910}"
+PORT2=$((PORT1 + 1))
+IDS="E17,E22,E4"
+DELAY=20ms
+ADMIT=4
+DUR="${BENCH_DURATION:-5s}"
+
+start_replica() { # port, extra flags...
+    local port=$1
+    shift
+    "$BIN/lpmemd" -addr "127.0.0.1:$port" "$@" >"$DIR/lpmemd-$port.log" 2>&1 &
+    PIDS+=($!)
+}
+
+stop_replicas() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -INT "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    PIDS=()
+}
+
+# rps/p99/shed/failed extractors for the loadgen summary line.
+summary() { grep '^loadgen: total=' "$1" | tail -1; }
+field() { summary "$1" | sed -n "s/.*$2=\([0-9.]*\).*/\1/p"; }
+
+loadgen() { # outfile, args...
+    local out=$1
+    shift
+    "$BIN/lpmem" loadgen -probe 10s -ids "$IDS" -mix one=1 "$@" | tee "$out"
+}
+
+echo "== warm the shared store"
+start_replica "$PORT1" -store "$DIR/results.jsonl"
+loadgen "$DIR/warmup.txt" -addr "http://127.0.0.1:$PORT1" -clients 2 -requests 50 -duration 30s >/dev/null
+stop_replicas
+
+echo "== concurrency-bound scaling: 1 replica (admit=$ADMIT, delay=$DELAY)"
+start_replica "$PORT1" -store "$DIR/results.jsonl" -admit "$ADMIT" -admit-queue 64 -service-delay "$DELAY"
+loadgen "$DIR/one.txt" -addr "http://127.0.0.1:$PORT1" -clients 8 -duration "$DUR"
+stop_replicas
+
+echo "== concurrency-bound scaling: 2 replicas, shared store"
+start_replica "$PORT1" -store "$DIR/results.jsonl" -admit "$ADMIT" -admit-queue 64 -service-delay "$DELAY"
+start_replica "$PORT2" -store "$DIR/results.jsonl" -admit "$ADMIT" -admit-queue 64 -service-delay "$DELAY"
+loadgen "$DIR/two.txt" -addr "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2" -clients 16 -duration "$DUR"
+stop_replicas
+
+echo "== cpu-bound contrast: 1 replica, no delay, no admission bound"
+start_replica "$PORT1" -store "$DIR/results.jsonl"
+loadgen "$DIR/cpu1.txt" -addr "http://127.0.0.1:$PORT1" -clients 8 -duration "$DUR"
+stop_replicas
+
+echo "== cpu-bound contrast: 2 replicas, no delay, no admission bound"
+start_replica "$PORT1" -store "$DIR/results.jsonl"
+start_replica "$PORT2" -store "$DIR/results.jsonl"
+loadgen "$DIR/cpu2.txt" -addr "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2" -clients 16 -duration "$DUR"
+stop_replicas
+
+echo "== overload: unloaded baseline (clients <= capacity)"
+start_replica "$PORT1" -store "$DIR/results.jsonl" -admit "$ADMIT" -admit-queue 2 -service-delay "$DELAY"
+loadgen "$DIR/base.txt" -addr "http://127.0.0.1:$PORT1" -clients 2 -duration "$DUR"
+
+echo "== overload: 16 closed-loop clients against capacity $ADMIT + queue 2"
+loadgen "$DIR/over.txt" -addr "http://127.0.0.1:$PORT1" -clients 16 -duration "$DUR" -verify
+stop_replicas
+
+R1=$(field "$DIR/one.txt" rps)
+R2=$(field "$DIR/two.txt" rps)
+C1=$(field "$DIR/cpu1.txt" rps)
+C2=$(field "$DIR/cpu2.txt" rps)
+BP99=$(summary "$DIR/base.txt" | sed -n 's/.*p99=\([0-9.]*\)ms.*/\1/p')
+OP99=$(summary "$DIR/over.txt" | sed -n 's/.*p99=\([0-9.]*\)ms.*/\1/p')
+OSHED=$(field "$DIR/over.txt" shed)
+OFAIL=$(field "$DIR/over.txt" failed)
+
+SPEEDUP=$(awk -v a="$R1" -v b="$R2" 'BEGIN { printf "%.2f", b / a }')
+CPUSPEEDUP=$(awk -v a="$C1" -v b="$C2" 'BEGIN { printf "%.2f", b / a }')
+P99RATIO=$(awk -v a="$BP99" -v b="$OP99" 'BEGIN { printf "%.2f", b / a }')
+
+echo
+echo "scaling (admit=$ADMIT, delay=$DELAY):  1 replica $R1 rps, 2 replicas $R2 rps  -> ${SPEEDUP}x"
+echo "cpu-bound contrast:                    1 replica $C1 rps, 2 replicas $C2 rps  -> ${CPUSPEEDUP}x"
+echo "overload: admitted p99 ${OP99}ms vs unloaded ${BP99}ms -> ${P99RATIO}x (shed=$OSHED failed=$OFAIL)"
+
+FAIL=0
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.7) }' || {
+    echo "FAIL: 2-replica speedup ${SPEEDUP}x < 1.7x" >&2
+    FAIL=1
+}
+awk -v r="$P99RATIO" 'BEGIN { exit !(r <= 2.0) }' || {
+    echo "FAIL: overloaded admitted p99 is ${P99RATIO}x the unloaded baseline (> 2x)" >&2
+    FAIL=1
+}
+if [ "$OFAIL" != "0" ]; then
+    echo "FAIL: overload run had $OFAIL failed requests (sheds must be 429s, not errors)" >&2
+    FAIL=1
+fi
+
+if [ -n "${OUT:-}" ]; then
+    cat >"$OUT" <<EOF
+{
+  "schema": "lpmem-replica-bench/1",
+  "go_version": "$(go env GOVERSION)",
+  "host_cpus": $(getconf _NPROCESSORS_ONLN),
+  "config": {
+    "ids": "$IDS",
+    "service_delay": "$DELAY",
+    "admit": $ADMIT,
+    "duration": "$DUR"
+  },
+  "scaling": {
+    "note": "concurrency-bound regime: -service-delay models downstream service time, so warm-path throughput is admission-bound (~admit/delay per replica) rather than bound by this host's core count",
+    "one_replica_rps": $R1,
+    "two_replica_rps": $R2,
+    "speedup": $SPEEDUP,
+    "cpu_bound_one_replica_rps": $C1,
+    "cpu_bound_two_replica_rps": $C2,
+    "cpu_bound_speedup": $CPUSPEEDUP
+  },
+  "overload": {
+    "unloaded_p99_ms": $BP99,
+    "overloaded_admitted_p99_ms": $OP99,
+    "p99_ratio": $P99RATIO,
+    "shed": $OSHED,
+    "failed": $OFAIL
+  }
+}
+EOF
+    echo "wrote $OUT"
+fi
+
+exit "$FAIL"

@@ -3,7 +3,7 @@
 # are attributable to one step and local iteration can run just what it
 # needs:
 #
-#   ./scripts/ci.sh                 # all = fmt vet lint build test chaos fuzz trace sweep
+#   ./scripts/ci.sh                 # all = fmt vet lint build test chaos fuzz trace sweep serve
 #   ./scripts/ci.sh fmt vet         # any subset, in the order given
 #   ./scripts/ci.sh quick           # fmt vet lint build + tests WITHOUT -race
 #   ./scripts/ci.sh bench           # lpmembench -check against committed baselines
@@ -11,6 +11,7 @@
 #   ./scripts/ci.sh fuzz            # short smoke of every native fuzz target
 #   ./scripts/ci.sh trace           # binary/text trace round-trip + replay gate
 #   ./scripts/ci.sh sweep           # design-space sweep resume/determinism gate
+#   ./scripts/ci.sh serve           # lpmemd + loadgen end-to-end smoke
 #
 # The race run is the correctness backstop for the concurrent experiment
 # runner (internal/runner) and the lpmemd HTTP service; `quick` trades it
@@ -30,6 +31,10 @@
 # against one result store each and fails unless the second run re-executes zero
 # points and prints a byte-identical Pareto frontier — the
 # incremental-sweep contract.
+# `serve` boots a real lpmemd (shared result store, admission control,
+# access log), drives a short `lpmem loadgen` burst against it with
+# -verify, and requires zero failed requests, shed accounting that
+# matches the server's own counters, and a clean SIGINT shutdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -172,6 +177,63 @@ stage_trace() {
     rm -rf "$dir"
 }
 
+stage_serve() {
+    echo "== serve smoke (lpmemd + loadgen + graceful shutdown)"
+    go build -o "$BIN/lpmemd" ./cmd/lpmemd
+    go build -o "$BIN/lpmem" ./cmd/lpmem
+    local dir port pid
+    dir=$(mktemp -d)
+    port="${LPMEMD_SMOKE_PORT:-18903}"
+    "$BIN/lpmemd" -addr "127.0.0.1:$port" \
+        -store "$dir/results.jsonl" \
+        -admit 4 -admit-queue 8 \
+        -access-log "$dir/access.log" \
+        >"$dir/lpmemd.log" 2>&1 &
+    pid=$!
+    # A short burst over every request kind. loadgen exits non-zero on
+    # any failed request or on shed accounting that disagrees with the
+    # server's admission counters (-verify), so the stage inherits the
+    # ISSUE's "zero failed, consistent sheds" gate from its exit code.
+    if ! "$BIN/lpmem" loadgen -addr "http://127.0.0.1:$port" \
+        -clients 4 -requests 300 -duration 30s \
+        -mix one=8,batch=1,list=1 -ids E17,E22,E4 \
+        -probe 10s -verify; then
+        echo "serve smoke: loadgen failed" >&2
+        kill "$pid" 2>/dev/null || true
+        cat "$dir/lpmemd.log" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+    # Graceful shutdown: SIGINT must drain and exit 0.
+    kill -INT "$pid"
+    if ! wait "$pid"; then
+        echo "serve smoke: lpmemd did not exit cleanly on SIGINT" >&2
+        cat "$dir/lpmemd.log" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+    if ! grep -q "lpmemd: done" "$dir/lpmemd.log"; then
+        echo "serve smoke: shutdown summary missing from server log" >&2
+        cat "$dir/lpmemd.log" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+    # The loadgen-minted request IDs must land in the access log: the
+    # request-ID middleware and structured logging are part of the gate.
+    if ! grep -q '"request_id":"lg-' "$dir/access.log"; then
+        echo "serve smoke: loadgen request IDs missing from access log" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+    # The shared store must have real content for the warm-replica path.
+    if [ ! -s "$dir/results.jsonl" ]; then
+        echo "serve smoke: result store is empty after the burst" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+    rm -rf "$dir"
+}
+
 stage_sweep() {
     echo "== lpmem sweep (resume determinism gate)"
     go build -o "$BIN/lpmem" ./cmd/lpmem
@@ -211,10 +273,11 @@ run_stage() {
         fuzz)  stage_fuzz ;;
         trace) stage_trace ;;
         sweep) stage_sweep ;;
+        serve) stage_serve ;;
         quick) stage_fmt; stage_vet; stage_lint_quick; stage_build; stage_test_norace ;;
-        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test; stage_chaos; stage_fuzz; stage_trace; stage_sweep ;;
+        all)   stage_fmt; stage_vet; stage_lint; stage_build; stage_test; stage_chaos; stage_fuzz; stage_trace; stage_sweep; stage_serve ;;
         *)
-            echo "usage: $0 [fmt|vet|lint|build|test|bench|chaos|fuzz|trace|sweep|quick|all] ..." >&2
+            echo "usage: $0 [fmt|vet|lint|build|test|bench|chaos|fuzz|trace|sweep|serve|quick|all] ..." >&2
             exit 2
             ;;
     esac
